@@ -1,0 +1,99 @@
+"""Shared benchmark harness.
+
+Each benchmark reproduces one table/figure of the paper: it schedules the
+relevant kernels with the Exo 2 libraries, evaluates the cost model on the
+scheduled object code, evaluates the analytic comparator-library models on the
+same problem sizes, and prints the same rows the paper's heatmaps report
+(runtime of <library> / runtime of Exo 2 — higher is better for Exo 2).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, Iterable, List, Tuple
+
+from repro.blas import (
+    LEVEL1_KERNELS,
+    LEVEL2_KERNELS,
+    kernel_flops_bytes,
+    optimize_level_1,
+    optimize_level_2_general,
+)
+from repro.machines import AVX2, AVX512
+from repro.perf import AVX2_SPEC, AVX512_SPEC, CostModel, library_model
+
+MACHINES = {"AVX2": (AVX2, AVX2_SPEC, 256), "AVX512": (AVX512, AVX512_SPEC, 512)}
+
+LEVEL1_BENCH_KERNELS = [
+    "sasum", "dasum", "saxpy", "daxpy", "sdot", "ddot", "sscal", "dscal",
+    "scopy", "dcopy", "sdsdot",
+]
+LEVEL1_SIZES = [16, 256, 4096, 65536, 1048576]
+
+LEVEL2_BENCH_KERNELS = [
+    "sgemv_n", "dgemv_n", "sgemv_t", "dgemv_t", "sger", "dger",
+    "ssymv_l", "dsymv_u", "ssyr_l", "dsyr2_u", "strmv_lnn", "dtrmv_utn",
+]
+LEVEL2_SIZES = [16, 64, 256, 1024]
+
+
+def _precision(name: str) -> str:
+    return "f64" if name.startswith("d") and name != "dsdot" else "f32"
+
+
+@lru_cache(maxsize=None)
+def scheduled_level1(name: str, machine_name: str):
+    machine, _, _ = MACHINES[machine_name]
+    return optimize_level_1(LEVEL1_KERNELS[name], "i", _precision(name), machine, 2)
+
+
+@lru_cache(maxsize=None)
+def scheduled_level2(name: str, machine_name: str):
+    machine, _, _ = MACHINES[machine_name]
+    return optimize_level_2_general(LEVEL2_KERNELS[name], "i", _precision(name), machine, 2, 2)
+
+
+def level1_ratio_row(name: str, machine_name: str, baseline: str, sizes: Iterable[int]) -> List[float]:
+    """One heatmap row: runtime(baseline)/runtime(Exo 2) per size bucket."""
+    machine, spec, width = MACHINES[machine_name]
+    cm = CostModel(spec)
+    lib = library_model(baseline, width)
+    sched = scheduled_level1(name, machine_name)
+    row = []
+    for n in sizes:
+        ours = cm.runtime_cycles(sched, {"n": n})
+        flops, bytes_moved = kernel_flops_bytes(name, {"n": n})
+        theirs = lib.runtime_cycles(spec, flops=flops, bytes_moved=bytes_moved, precision=_precision(name))
+        row.append(theirs / ours)
+    return row
+
+
+def level2_ratio_row(name: str, machine_name: str, baseline: str, sizes: Iterable[int]) -> List[float]:
+    machine, spec, width = MACHINES[machine_name]
+    cm = CostModel(spec)
+    lib = library_model(baseline, width)
+    sched = scheduled_level2(name, machine_name)
+    row = []
+    for n in sizes:
+        size_env = {"M": n, "N": n}
+        ours = cm.runtime_cycles(sched, size_env)
+        flops, bytes_moved = kernel_flops_bytes(name, size_env)
+        theirs = lib.runtime_cycles(spec, flops=flops, bytes_moved=bytes_moved, precision=_precision(name))
+        row.append(theirs / ours)
+    return row
+
+
+def print_heatmap(title: str, rows: Dict[str, List[float]], sizes: List[int]) -> None:
+    print(f"\n=== {title} ===")
+    header = "kernel".ljust(12) + "".join(f"{s:>12}" for s in sizes)
+    print(header)
+    for name, vals in rows.items():
+        print(name.ljust(12) + "".join(f"{v:12.2f}" for v in vals))
+    geo = 1.0
+    count = 0
+    for vals in rows.values():
+        for v in vals:
+            geo *= v
+            count += 1
+    if count:
+        print(f"geometric mean ratio: {geo ** (1.0 / count):.2f}")

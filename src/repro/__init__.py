@@ -1,0 +1,67 @@
+"""repro — a reproduction of "Exo 2: Growing a Scheduling Language" (ASPLOS 2025).
+
+The package provides:
+
+* an object language (``@proc`` / ``@instr``) with a pure-Python front-end,
+* Cursors — multiple, stable, relative references into object code,
+* ~46 fine-grained, safety-checked scheduling primitives,
+* user-space scheduling libraries (``repro.stdlib``, ``repro.blas``,
+  ``repro.halide``, ``repro.gemmini``) built from those primitives,
+* an interpreter, a C backend, machine models, and a performance model used to
+  reproduce the paper's evaluation.
+
+Quickstart::
+
+    from __future__ import annotations
+    from repro import proc, divide_loop, lift_scope
+    from repro.lang import *
+
+    @proc
+    def gemv(M: size, N: size, A: f32[M, N] @ DRAM,
+             x: f32[N] @ DRAM, y: f32[M] @ DRAM):
+        assert M % 8 == 0
+        assert N % 8 == 0
+        for i in seq(0, M):
+            for j in seq(0, N):
+                y[i] += A[i, j] * x[j]
+
+    g = divide_loop(gemv, 'i', 8, ['io', 'ii'], perfect=True)
+    g = divide_loop(g, 'j', 8, ['jo', 'ji'], perfect=True)
+    g = lift_scope(g, 'jo')
+"""
+
+from .core.procedure import Procedure
+from .errors import (
+    BackendError,
+    ExoError,
+    InvalidCursorError,
+    ParseError,
+    SchedulingError,
+)
+from .frontend.decorators import instr, proc, proc_from_source
+from .ir.config import Config, new_config
+from .ir.memories import DRAM, DRAM_STACK, DRAM_STATIC, Memory, MemoryKind
+from .primitives import *  # noqa: F401,F403 - the scheduling primitives
+from .primitives import __all__ as _primitives_all
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Procedure",
+    "proc",
+    "instr",
+    "proc_from_source",
+    "Config",
+    "new_config",
+    "Memory",
+    "MemoryKind",
+    "DRAM",
+    "DRAM_STACK",
+    "DRAM_STATIC",
+    "ExoError",
+    "SchedulingError",
+    "InvalidCursorError",
+    "ParseError",
+    "BackendError",
+    "__version__",
+] + list(_primitives_all)

@@ -1,0 +1,45 @@
+"""Static analysis used to justify scheduling primitives."""
+
+from .effects import (
+    Access,
+    accesses_of,
+    body_depends_on_iter,
+    depends_on_allocs,
+    is_idempotent,
+    loop_iterations_commute,
+    read_buffers,
+    stmts_commute,
+    written_buffers,
+)
+from .linear import (
+    FactEnv,
+    LinearForm,
+    const_value,
+    exprs_equal,
+    linear_to_expr,
+    linearize,
+    prove,
+    prove_divisible,
+    simplify_expr,
+)
+
+__all__ = [
+    "Access",
+    "accesses_of",
+    "body_depends_on_iter",
+    "depends_on_allocs",
+    "is_idempotent",
+    "loop_iterations_commute",
+    "read_buffers",
+    "stmts_commute",
+    "written_buffers",
+    "FactEnv",
+    "LinearForm",
+    "const_value",
+    "exprs_equal",
+    "linear_to_expr",
+    "linearize",
+    "prove",
+    "prove_divisible",
+    "simplify_expr",
+]

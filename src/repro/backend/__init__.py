@@ -1,0 +1,6 @@
+"""C backend (code generation and backend checks)."""
+
+from .checks import backend_check
+from .codegen import compile_to_c, proc_to_c
+
+__all__ = ["compile_to_c", "proc_to_c", "backend_check"]

@@ -1,0 +1,217 @@
+"""C code generation.
+
+Scheduled object code lowers to portable C99: loops become ``for`` loops,
+buffers become arrays (stack or static, per their memory space), and calls to
+``@instr`` procedures emit the instruction's C template verbatim with the
+argument data-pointers substituted — Exo's exocompilation model.
+
+The generated C is not compiled in this offline environment (the interpreter
+provides reference semantics and the cost model provides timing); it exists so
+that downstream users can take the kernels to a real toolchain and so that the
+"generated C" line counts of Figure 9a can be reproduced.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from ..errors import BackendError
+from ..ir import nodes as N
+from ..ir.externs import extern_by_name
+from ..ir.memories import MemoryKind
+from ..ir.printing import expr_str
+from ..ir.types import TensorType
+
+__all__ = ["compile_to_c", "proc_to_c"]
+
+
+def _c_expr(e: N.Expr, strides: Dict, int_ctx: bool = False) -> str:
+    if isinstance(e, N.Const):
+        if isinstance(e.val, bool):
+            return "1" if e.val else "0"
+        if isinstance(e.val, float):
+            return f"{e.val}f"
+        return str(e.val)
+    if isinstance(e, N.Read):
+        if not e.idx:
+            return str(e.name)
+        idx = _flatten_index(e.name, e.idx, strides)
+        return f"{e.name}[{idx}]"
+    if isinstance(e, N.BinOp):
+        op = {"and": "&&", "or": "||"}.get(e.op, e.op)
+        return f"({_c_expr(e.lhs, strides)} {op} {_c_expr(e.rhs, strides)})"
+    if isinstance(e, N.USub):
+        return f"(-{_c_expr(e.arg, strides)})"
+    if isinstance(e, N.Extern):
+        d = extern_by_name(e.fname)
+        return d.c_template.format(*[_c_expr(a, strides) for a in e.args])
+    if isinstance(e, N.StrideExpr):
+        return f"{e.name}_stride_{e.dim}"
+    if isinstance(e, N.ReadConfig):
+        return f"ctxt.{e.config.name()}.{e.field_name}"
+    if isinstance(e, N.WindowExpr):
+        # pointer to the first element of the window
+        firsts = [w.lo if isinstance(w, N.Interval) else w.pt for w in e.idx]
+        idx = _flatten_index(e.name, firsts, strides)
+        return f"&{e.name}[{idx}]"
+    raise BackendError(f"cannot lower expression {type(e).__name__}")
+
+
+def _flatten_index(name, idx: List[N.Expr], strides: Dict) -> str:
+    dims = strides.get(name)
+    parts = []
+    for d, e in enumerate(idx):
+        s = dims[d] if dims and d < len(dims) else None
+        es = _c_expr(e, strides)
+        if s is None or s == "1":
+            parts.append(es)
+        else:
+            parts.append(f"({es}) * ({s})")
+    return " + ".join(parts) if parts else "0"
+
+
+def _row_major_strides(shape: List[N.Expr]) -> List[str]:
+    out = []
+    for d in range(len(shape)):
+        rest = shape[d + 1 :]
+        if not rest:
+            out.append("1")
+        else:
+            out.append(" * ".join(f"({expr_str(e)})" for e in rest))
+    return out
+
+
+class _CGen:
+    def __init__(self):
+        self.lines: List[str] = []
+        self.indent = 0
+        self.instr_globals: Set[str] = set()
+
+    def emit(self, line: str) -> None:
+        self.lines.append("    " * self.indent + line)
+
+    def gen_stmts(self, stmts, strides) -> None:
+        for s in stmts:
+            self.gen_stmt(s, strides)
+
+    def gen_stmt(self, s: N.Stmt, strides) -> None:
+        if isinstance(s, N.Assign):
+            lhs = f"{s.name}[{_flatten_index(s.name, s.idx, strides)}]" if s.idx else str(s.name)
+            self.emit(f"{lhs} = {_c_expr(s.rhs, strides)};")
+        elif isinstance(s, N.Reduce):
+            lhs = f"{s.name}[{_flatten_index(s.name, s.idx, strides)}]" if s.idx else str(s.name)
+            self.emit(f"{lhs} += {_c_expr(s.rhs, strides)};")
+        elif isinstance(s, N.Alloc):
+            if isinstance(s.typ, TensorType):
+                size = " * ".join(f"({expr_str(d)})" for d in s.typ.shape)
+                strides[s.name] = _row_major_strides(s.typ.shape)
+                qual = "static " if s.mem.kind == MemoryKind.STATIC else ""
+                if s.mem.kind == MemoryKind.VECTOR_REG:
+                    self.emit(f"{s.typ.base.ctype()} {s.name}[{size}] __attribute__((aligned(64)));")
+                else:
+                    self.emit(f"{qual}{s.typ.base.ctype()} {s.name}[{size}];")
+            else:
+                self.emit(f"{s.typ.ctype()} {s.name};")
+        elif isinstance(s, N.For):
+            it, lo, hi = s.iter, _c_expr(s.lo, strides), _c_expr(s.hi, strides)
+            if s.pragma == "par":
+                self.emit("#pragma omp parallel for")
+            self.emit(f"for (int_fast32_t {it} = {lo}; {it} < {hi}; {it}++) {{")
+            self.indent += 1
+            self.gen_stmts(s.body, dict(strides))
+            self.indent -= 1
+            self.emit("}")
+        elif isinstance(s, N.If):
+            self.emit(f"if ({_c_expr(s.cond, strides)}) {{")
+            self.indent += 1
+            self.gen_stmts(s.body, dict(strides))
+            self.indent -= 1
+            if s.orelse:
+                self.emit("} else {")
+                self.indent += 1
+                self.gen_stmts(s.orelse, dict(strides))
+                self.indent -= 1
+            self.emit("}")
+        elif isinstance(s, N.Pass):
+            self.emit(";")
+        elif isinstance(s, N.Call):
+            self.gen_call(s, strides)
+        elif isinstance(s, N.WindowStmt):
+            self.emit(f"/* window */ {s.typ if hasattr(s, 'typ') else 'float'}* {s.name} = {_c_expr(s.rhs, strides)};")
+        elif isinstance(s, N.WriteConfig):
+            self.emit(f"ctxt.{s.config.name()}.{s.field_name} = {_c_expr(s.rhs, strides)};")
+        else:
+            raise BackendError(f"cannot lower statement {type(s).__name__}")
+
+    def gen_call(self, call: N.Call, strides) -> None:
+        callee = call.proc
+        cdef = callee._root if hasattr(callee, "_root") else callee
+        if cdef.instr is not None:
+            fmt: Dict[str, str] = {}
+            for fn_arg, actual in zip(cdef.args, call.args):
+                name = fn_arg.name.name
+                fmt[name] = _c_expr(actual, strides)
+                if isinstance(actual, (N.WindowExpr,)):
+                    fmt[f"{name}_data"] = _c_expr(actual, strides).lstrip("&")
+                elif isinstance(actual, N.Read):
+                    fmt[f"{name}_data"] = _c_expr(actual, strides)
+                else:
+                    fmt[f"{name}_data"] = _c_expr(actual, strides)
+            if cdef.instr.c_global:
+                self.instr_globals.add(cdef.instr.c_global)
+            try:
+                text = cdef.instr.c_instr.format(**fmt)
+            except (KeyError, IndexError):
+                text = f"/* instr {cdef.name} */"
+            for line in text.split("\n"):
+                self.emit(line)
+        else:
+            args = ", ".join(_c_expr(a, strides) for a in call.args)
+            self.emit(f"{cdef.name}(ctxt, {args});")
+
+
+def proc_to_c(procedure, *, static: bool = False) -> str:
+    """Lower one procedure to a C function definition."""
+    root = procedure._root if hasattr(procedure, "_root") else procedure
+    gen = _CGen()
+    strides: Dict = {}
+    params = ["void *ctxt_"]
+    for a in root.args:
+        if isinstance(a.typ, TensorType):
+            params.append(f"{a.typ.base.ctype()}* {a.name}")
+            strides[a.name] = _row_major_strides(a.typ.shape)
+        elif a.typ.is_indexable():
+            params.append(f"int_fast32_t {a.name}")
+        elif a.typ.is_bool():
+            params.append(f"bool {a.name}")
+        else:
+            params.append(f"{a.typ.ctype()} {a.name}")
+    qual = "static " if static else ""
+    gen.emit(f"{qual}void {root.name}({', '.join(params)}) {{")
+    gen.indent += 1
+    for p in root.preds:
+        gen.emit(f"// assert {expr_str(p)}")
+    gen.gen_stmts(root.body, strides)
+    gen.indent -= 1
+    gen.emit("}")
+    return "\n".join(gen.lines)
+
+
+def compile_to_c(procedures, header_name: str = "kernels") -> str:
+    """Lower a list of procedures (plus the instruction sub-procedures they
+    reference) into a single C translation unit."""
+    if not isinstance(procedures, (list, tuple)):
+        procedures = [procedures]
+    out = [
+        "#include <stdint.h>",
+        "#include <stdbool.h>",
+        "#include <math.h>",
+        "#include <immintrin.h>",
+        "",
+        f"// generated by repro (Exo 2 reproduction) — {header_name}",
+        "",
+    ]
+    for p in procedures:
+        out.append(proc_to_c(p))
+        out.append("")
+    return "\n".join(out)

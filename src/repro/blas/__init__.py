@@ -1,0 +1,34 @@
+"""The BLAS scheduling library ("BLAS-lib") and kernels (Section 6.2)."""
+
+from .kernels import (
+    LEVEL1_KERNELS,
+    LEVEL2_KERNELS,
+    SGEMM,
+    all_level1_names,
+    all_level2_names,
+    level1_kernel,
+    level2_kernel,
+)
+from .level1 import optimize_level_1
+from .level2 import opt_skinny, optimize_level_2_general
+from .level3 import gen_ukernel, schedule_sgemm, sgemm_micro_kernel
+from .reference import kernel_flops_bytes, level1_reference, level2_reference
+
+__all__ = [
+    "LEVEL1_KERNELS",
+    "LEVEL2_KERNELS",
+    "SGEMM",
+    "all_level1_names",
+    "all_level2_names",
+    "level1_kernel",
+    "level2_kernel",
+    "optimize_level_1",
+    "optimize_level_2_general",
+    "opt_skinny",
+    "gen_ukernel",
+    "schedule_sgemm",
+    "sgemm_micro_kernel",
+    "kernel_flops_bytes",
+    "level1_reference",
+    "level2_reference",
+]

@@ -1,0 +1,142 @@
+"""``optimize_level_2_general`` and ``opt_skinny`` — the shared schedules for
+BLAS level-2 kernels (Section 6.2.2, Appendix D.2).
+
+* General matrices: unroll-and-jam the row loop to batch several dot products,
+  CSE the shared vector load, and hand the inner loop to ``optimize_level_1``.
+* Triangular matrices: the inner bound depends on the outer iterator, so the
+  inner loop is shifted/rounded before the same machinery applies; when that
+  is not possible the schedule falls back to vectorising the inner loop only.
+* Skinny matrices (Figure 7): stage the reused vector into registers around
+  the whole doubly-nested loop, vectorising the load / compute / store loops
+  with predicated instructions.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..cursors.cursor import ForCursor, IfCursor
+from ..errors import InvalidCursorError, SchedulingError
+from ..primitives import divide_dim, set_memory, set_precision, shift_loop, simplify
+from ..stdlib.higher_order import apply, filter_c, is_invalid
+from ..stdlib.inspection import get_inner_loop, get_reused_vector
+from ..stdlib.tiling import auto_stage_mem, cleanup, interleave_loop, round_loop, unroll_and_jam, unroll_loops
+from ..stdlib.vectorize import CSE, fma_rule, vectorize
+from .level1 import optimize_level_1
+
+__all__ = ["optimize_level_2_general", "opt_skinny"]
+
+
+def _inner_loops(proc, outer: ForCursor):
+    """All loops directly nested in ``outer``'s body."""
+    return [c for c in outer.body() if isinstance(c, ForCursor)]
+
+
+def optimize_level_2_general(
+    proc,
+    o_loop,
+    precision: str,
+    machine,
+    r_fac: int = 2,
+    c_fac: int = 2,
+    round_up: Optional[bool] = None,
+):
+    """Optimise an O(n²) kernel: batch ``r_fac`` rows (unroll-and-jam), then
+    treat each resulting inner loop as a level-1 problem."""
+    o_loop = proc.find_loop(o_loop) if isinstance(o_loop, str) else proc.forward(o_loop)
+    o_name = o_loop.name()
+
+    inner = _inner_loops(proc, o_loop)
+    triangular = False
+    for il in inner:
+        from ..ir.build import used_syms_expr
+
+        if o_loop.iter_sym() in used_syms_expr(il.hi()._node()) or o_loop.iter_sym() in used_syms_expr(il.lo()._node()):
+            triangular = True
+
+    jammed = False
+    if not triangular and len(inner) == 1:
+        try:
+            proc = unroll_and_jam(proc, o_loop, r_fac)
+            jammed = True
+        except (SchedulingError, InvalidCursorError):
+            jammed = False
+
+    # vectorise every (remaining) inner loop as a level-1 problem
+    o_loop = proc.find_loop(f"{o_name}o" if jammed else o_name)
+    work = [c for c in o_loop.body() if isinstance(c, ForCursor)]
+    for il in work:
+        il = proc.forward(il)
+        name = il.name()
+        # inner loops of triangular kernels may not start at zero — shift them
+        from ..analysis.linear import const_value
+
+        if const_value(il.lo()._node()) != 0:
+            try:
+                proc = shift_loop(proc, il, 0)
+                il = proc.forward(il)
+            except (SchedulingError, InvalidCursorError):
+                continue
+        try:
+            proc = optimize_level_1(proc, il, precision, machine, c_fac)
+        except (SchedulingError, InvalidCursorError):
+            continue
+        try:
+            o_loop = proc.find_loop(f"{o_name}o" if jammed else o_name)
+        except InvalidCursorError:
+            break
+        work = [proc.forward(c) for c in work]
+
+    return cleanup(proc)
+
+
+def opt_skinny(proc, out_loop, vw: int, mem, precision: str, machine, interleave: int = 2):
+    """The skinny-matrix schedule of Figure 7b: keep the reused vector in
+    registers across the whole quadratic loop.
+
+    (1) Inspect the program to find the inner loop and the reused vector.
+    (2) Stage the reused vector into a register-resident buffer around the
+        doubly nested loops.
+    (3) Vectorise the load loop, the inner math loop, and the store loop.
+    (4) Interleave the inner loop for ILP and clean up.
+    """
+    out_loop = proc.find_loop(out_loop) if isinstance(out_loop, str) else proc.forward(out_loop)
+    out_name = out_loop.name()
+
+    # (1) inspection
+    in_loop = get_inner_loop(proc, out_loop)
+    in_name = in_loop.name()
+    vec = get_reused_vector(proc, in_loop)
+    vec_name = vec.name()
+
+    # (2) stage the reused vector into registers around the outer loop
+    staged_name = f"{vec_name}_reg"
+    out_loop = proc.find_loop(out_name)
+    proc, (alloc, load, block, store) = auto_stage_mem(proc, out_loop, vec_name, staged_name, rc=True)
+    proc = set_memory(proc, staged_name, mem)
+    proc = set_precision(proc, staged_name, precision)
+
+    # (3) vectorise the load, inner math loop, and store loops
+    instrs = machine.get_instructions(precision)
+    loop_refs = []
+    for lp in (load, store):
+        if not is_invalid(lp):
+            loop_refs.append(lp)
+    loop_refs.append(proc.find_loop(in_name))
+    loop_refs = filter_c(~is_invalid)(proc, loop_refs)
+    for lp in loop_refs:
+        lp = proc.forward(lp) if lp._proc is not proc else lp
+        if not isinstance(lp, ForCursor):
+            continue
+        try:
+            proc = vectorize(proc, lp, vw, precision, mem, instrs, rules=[fma_rule], tail="cut")
+        except (SchedulingError, InvalidCursorError):
+            continue
+
+    # (4) interleave the vectorised inner loop and clean up
+    try:
+        proc = interleave_loop(proc, proc.find_loop(f"{in_name}o"), interleave)
+    except (SchedulingError, InvalidCursorError):
+        pass
+    proc = simplify(proc)
+    return cleanup(proc)

@@ -1,0 +1,113 @@
+"""Matrix-matrix multiply (Section 6.2.3, Appendix C).
+
+``gen_ukernel`` turns a rank-k update into a register-tiled, fully vectorised
+micro-kernel (one function generates every M×16n variant), and
+``schedule_sgemm`` builds the full GEMM: L1-cache blocking of the triple loop,
+register blocking of the (i, j) tile, and vectorisation of the j loops with
+FMA instructions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..cursors.cursor import ForCursor
+from ..errors import InvalidCursorError, SchedulingError
+from ..primitives import (
+    divide_dim,
+    divide_loop,
+    lift_scope,
+    rename,
+    reorder_loops,
+    set_memory,
+    set_precision,
+    simplify,
+)
+from ..stdlib.tiling import auto_stage_mem, cleanup, tile_loops_bottom_up, unroll_loops
+from ..stdlib.vectorize import fma_rule, vectorize
+from .kernels import SGEMM
+
+__all__ = ["gen_ukernel", "schedule_sgemm", "sgemm_micro_kernel"]
+
+
+def gen_ukernel(p, machine, precision: str = "f32", M_r: int = 6, N_r_vecs: int = 4):
+    """Generate a register-tiled micro-kernel from a rank-k update.
+
+    ``p`` must be a (partially evaluated) rank-k update with loops ``k, i, j``
+    computing ``C[i, j] += A[i, k] * B[k, j]`` where the (i, j) extent is the
+    micro-tile.  Returns the scheduled micro-kernel.
+    """
+    vw = machine.vec_width(precision)
+    instrs = machine.get_instructions(precision)
+    mem = machine.mem_type
+
+    # stage the C micro-tile into registers around the k loop
+    k_loop = p.find_loop("k")
+    p, (alloc, load, block, store) = auto_stage_mem(p, k_loop, "C", "C_reg", rc=True)
+    p = set_memory(p, "C_reg", mem)
+    p = set_precision(p, "C_reg", precision)
+
+    # vectorise the load loop, the inner j loop of the update, and the store loop
+    for loop_name in ("i1", "j", "i1"):
+        try:
+            loop = p.find_loop(loop_name)
+        except InvalidCursorError:
+            continue
+        try:
+            p = vectorize(p, loop, vw, precision, mem, instrs, rules=[fma_rule], tail="cut")
+        except (SchedulingError, InvalidCursorError):
+            continue
+
+    p = simplify(p)
+    p = unroll_loops(p, max_bound=max(M_r, N_r_vecs) * 2)
+    return cleanup(p)
+
+
+def sgemm_micro_kernel(machine, M_r: int = 6, N_r_vecs: int = 4, K: int = 64, precision: str = "f32"):
+    """Build the ``M_r × (N_r_vecs·vw)`` micro-kernel evaluated in Appendix C."""
+    vw = machine.vec_width(precision)
+    p = rename(SGEMM, f"basic_kernel_{M_r}x{N_r_vecs}")
+    p = p.partial_eval(M=M_r, N=N_r_vecs * vw)
+    return gen_ukernel(p, machine, precision, M_r, N_r_vecs)
+
+
+def schedule_sgemm(
+    machine,
+    precision: str = "f32",
+    M_r: int = 6,
+    N_r_vecs: int = 1,
+    K_blk: int = 64,
+    M_blk: int = 48,
+    N_blk: int = 64,
+):
+    """Schedule the full SGEMM for ``machine``: cache blocking + register
+    blocking + vectorised FMA inner loops."""
+    vw = machine.vec_width(precision)
+    instrs = machine.get_instructions(precision)
+    mem = machine.mem_type
+    N_r = N_r_vecs * vw
+
+    p = rename(SGEMM, "sgemm_exo")
+
+    # register blocking of the (i, j) micro-tile: divide i by M_r and j by N_r
+    # and bring the block loops outside (the GotoBLAS/BLIS micro-kernel shape)
+    try:
+        p = divide_loop(p, "i", M_r, ["i_r_o", "i_r_i"], tail="cut")
+        p = divide_loop(p, "j", N_r, ["j_r_o", "j_r_i"], tail="cut")
+        p = lift_scope(p, "j_r_o")
+    except (SchedulingError, InvalidCursorError):
+        pass
+    p = simplify(p)
+
+    # vectorise every innermost j loop with FMAs
+    for name in ("j_r_i", "j"):
+        try:
+            loop = p.find_loop(name)
+        except InvalidCursorError:
+            continue
+        try:
+            p = vectorize(p, loop, vw, precision, mem, instrs, rules=[fma_rule], tail="cut")
+        except (SchedulingError, InvalidCursorError):
+            continue
+
+    return cleanup(p)

@@ -1,0 +1,116 @@
+"""Numpy reference implementations and analytic flop/byte counts.
+
+The references serve two purposes: they are the correctness oracle for the
+scheduled kernels in the test suite, and they provide the flop/byte counts the
+baseline library models (:mod:`repro.perf.baselines`) are evaluated on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+__all__ = ["level1_reference", "level2_reference", "kernel_flops_bytes"]
+
+
+def level1_reference(name: str, args: Dict[str, object]) -> None:
+    """Apply the reference semantics of a level-1 kernel in place."""
+    base = name[1:]
+    x = args.get("x")
+    y = args.get("y")
+    if base == "asum":
+        args["result"][0] += np.sum(np.abs(x))
+    elif base == "axpy":
+        y += args["alpha"] * x
+    elif base == "dot" or name in ("sdsdot", "dsdot"):
+        args["result"][0] += np.dot(x.astype(np.float64), y.astype(np.float64))
+    elif base == "scal":
+        x *= args["alpha"]
+    elif base == "copy":
+        y[:] = x
+    elif base == "swap":
+        tmp = x.copy()
+        x[:] = y
+        y[:] = tmp
+    elif base == "rot":
+        c, s = args["c"], args["s"]
+        xi = x.copy()
+        x[:] = c * xi + s * y
+        y[:] = c * y - s * xi
+    elif base == "rotm":
+        h11, h12, h21, h22 = args["h11"], args["h12"], args["h21"], args["h22"]
+        xi = x.copy()
+        x[:] = h11 * xi + h12 * y
+        y[:] = h21 * xi + h22 * y
+    else:
+        raise KeyError(f"unknown level-1 kernel {name!r}")
+
+
+def level2_reference(name: str, args: Dict[str, object]) -> None:
+    """Apply the reference semantics of a level-2 kernel in place."""
+    base = name[1:]
+    A = args.get("A")
+    x = args.get("x")
+    y = args.get("y")
+    alpha = args.get("alpha", 1.0)
+    if base == "gemv_n":
+        y += alpha * (A @ x)
+    elif base == "gemv_t":
+        y += alpha * (A.T @ x)
+    elif base == "ger":
+        A += alpha * np.outer(x, y)
+    elif base in ("symv_l", "symv_u"):
+        S = np.tril(A) + np.tril(A, -1).T if base.endswith("l") else np.triu(A) + np.triu(A, 1).T
+        y += alpha * (S @ x)
+    elif base in ("syr_l", "syr_u"):
+        outer = alpha * np.outer(x, x)
+        A += np.tril(outer) if base.endswith("l") else np.triu(outer)
+    elif base in ("syr2_l", "syr2_u"):
+        outer = alpha * (np.outer(x, y) + np.outer(y, x))
+        A += np.tril(outer) if base.endswith("l") else np.triu(outer)
+    elif base.startswith("trmv_"):
+        flags = base.split("_")[1]
+        uplo, trans, diag = flags[0], flags[1], flags[2]
+        T = np.tril(A, -1) if uplo == "l" else np.triu(A, 1)
+        if diag == "u":
+            T = T + np.eye(A.shape[0], dtype=A.dtype)
+        else:
+            T = T + np.diag(np.diag(A))
+        M = T.T if trans == "t" else T
+        y += M @ x
+    else:
+        raise KeyError(f"unknown level-2 kernel {name!r}")
+
+
+def kernel_flops_bytes(name: str, sizes: Dict[str, int]) -> Tuple[float, float]:
+    """Analytic (flops, dram_bytes) for a kernel at the given sizes — what the
+    baseline library models charge for."""
+    width = 8 if name.startswith("d") else 4
+    n = sizes.get("n") or sizes.get("N", 0)
+    M = sizes.get("M", n)
+    N = sizes.get("N", n)
+    base = name[1:]
+    if base in ("asum", "dot", "scal", "copy") or name in ("sdsdot", "dsdot"):
+        vectors = 2 if base in ("dot", "copy") or "dot" in name else 1
+        flops = 2.0 * n if "dot" in name else float(n)
+        return flops, vectors * n * width + (n * width if base in ("scal", "copy") else 0)
+    if base == "axpy":
+        return 2.0 * n, 3.0 * n * width
+    if base in ("swap", "rot", "rotm"):
+        flops = {"swap": 0.0, "rot": 6.0, "rotm": 6.0}[base] * n
+        return flops, 4.0 * n * width
+    if base in ("gemv_n", "gemv_t"):
+        return 2.0 * M * N, (M * N + M + N) * width
+    if base == "ger":
+        return 2.0 * M * N, (2 * M * N + M + N) * width
+    if base.startswith(("symv", "syr2")):
+        return 2.0 * N * N, (N * N + 2 * N) * width
+    if base.startswith("syr"):
+        return 1.0 * N * N, (N * N + N) * width
+    if base.startswith(("trmv", "trsv")):
+        return 1.0 * N * N, (N * N / 2 + 2 * N) * width
+    if base == "gemm" or name == "sgemm":
+        K = sizes.get("K", N)
+        return 2.0 * M * N * K, (M * K + K * N + 2 * M * N) * width
+    raise KeyError(f"unknown kernel {name!r}")

@@ -1,0 +1,19 @@
+"""Core public API of the scheduling language."""
+
+from ..errors import (
+    BackendError,
+    ExoError,
+    InvalidCursorError,
+    ParseError,
+    SchedulingError,
+)
+from .procedure import Procedure
+
+__all__ = [
+    "Procedure",
+    "ExoError",
+    "SchedulingError",
+    "InvalidCursorError",
+    "ParseError",
+    "BackendError",
+]

@@ -1,0 +1,256 @@
+"""The user-facing :class:`Procedure` object.
+
+A ``Procedure`` wraps one version of an object program.  Scheduling primitives
+take a ``Procedure`` (plus cursors and other arguments) and return a *new*
+``Procedure``; the new version records its provenance — the previous version
+and a forwarding function — so that cursors created against older versions can
+be re-bound with :meth:`Procedure.forward` (the branching time model of
+Section 5.1).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from ..cursors.cursor import (
+    ArgCursor,
+    BlockCursor,
+    Cursor,
+    ExprCursor,
+    GapCursor,
+    InvalidCursor,
+    StmtCursor,
+    _find,
+    _find_loop,
+    make_expr_cursor,
+    make_stmt_cursor,
+)
+from ..errors import InvalidCursorError, SchedulingError
+from ..ir import nodes as N
+from ..ir.build import copy_node, walk
+from ..ir.printing import proc_str
+from ..ir.types import ScalarType, TensorType, int_t
+
+__all__ = ["Procedure"]
+
+
+class Procedure:
+    """One version of an object program, with provenance for forwarding."""
+
+    def __init__(
+        self,
+        root: N.ProcDef,
+        *,
+        provenance: Optional[tuple] = None,
+        instr_info: Optional[N.InstrInfo] = None,
+    ):
+        if instr_info is not None:
+            root.instr = instr_info
+        self._root = root
+        # provenance: (parent Procedure, forward function on descriptors)
+        self._provenance = provenance
+
+    # -- basic accessors ---------------------------------------------------------
+
+    def name(self) -> str:
+        return self._root.name
+
+    def is_instr(self) -> bool:
+        return self._root.instr is not None
+
+    def instr_str(self) -> Optional[str]:
+        return self._root.instr.c_instr if self._root.instr else None
+
+    def args(self) -> List[ArgCursor]:
+        return [ArgCursor(self, i) for i in range(len(self._root.args))]
+
+    def arg_names(self) -> List[str]:
+        return [a.name.name for a in self._root.args]
+
+    def get_arg(self, name: str) -> ArgCursor:
+        for i, a in enumerate(self._root.args):
+            if a.name.name == name:
+                return ArgCursor(self, i)
+        raise InvalidCursorError(f"no argument named {name!r}")
+
+    def preds(self) -> List[N.Expr]:
+        return list(self._root.preds)
+
+    def body(self) -> BlockCursor:
+        return BlockCursor(self, (), "body", 0, len(self._root.body))
+
+    def __str__(self) -> str:
+        return proc_str(self._root)
+
+    def __repr__(self) -> str:
+        return f"<Procedure {self.name()}>"
+
+    # -- searching ---------------------------------------------------------------
+
+    def find(self, pattern: str, many: bool = False):
+        """Find object code matching ``pattern`` (see :mod:`repro.frontend.pattern`)."""
+        return _find(self, (), pattern, many)
+
+    def find_loop(self, name: str, many: bool = False):
+        """Find the loop whose iteration variable is named ``name``."""
+        return _find_loop(self, (), name, many)
+
+    def find_alloc_or_arg(self, name: str):
+        """Find the allocation or argument introducing buffer ``name``."""
+        for i, a in enumerate(self._root.args):
+            if a.name.name == name:
+                return ArgCursor(self, i)
+        return self.find(f"{name}: _")
+
+    def find_all(self, pattern: str):
+        return self.find(pattern, many=True)
+
+    # -- forwarding ---------------------------------------------------------------
+
+    def _lineage(self) -> List["Procedure"]:
+        chain = [self]
+        while chain[-1]._provenance is not None:
+            chain.append(chain[-1]._provenance[0])
+        return chain
+
+    def forward(self, cursor: Cursor):
+        """Forward ``cursor`` (created against an ancestor version of this
+        procedure) into this procedure's reference frame."""
+        if isinstance(cursor, InvalidCursor):
+            return InvalidCursor(self)
+        if not isinstance(cursor, Cursor):
+            raise TypeError(f"expected a Cursor, got {type(cursor).__name__}")
+        if cursor._proc is self:
+            return cursor
+        # collect forwarding functions from cursor's proc to self
+        chain: List[Callable] = []
+        p = self
+        while p is not None and p is not cursor._proc:
+            if p._provenance is None:
+                p = None
+                break
+            parent, fwd = p._provenance
+            chain.append(fwd)
+            p = parent
+        if p is None:
+            raise InvalidCursorError(
+                "cursor does not belong to an ancestor version of this procedure"
+            )
+        desc = cursor._descriptor()
+        for fwd in reversed(chain):
+            if desc is None:
+                break
+            desc = fwd(desc)
+        return self._cursor_from_descriptor(desc)
+
+    def _cursor_from_descriptor(self, desc):
+        if desc is None:
+            return InvalidCursor(self)
+        kind = desc[0]
+        try:
+            if kind == "node":
+                from ..ir.build import get_node
+
+                node = get_node(self._root, desc[1])
+                if isinstance(node, N.Stmt):
+                    return make_stmt_cursor(self, desc[1])
+                return make_expr_cursor(self, desc[1])
+            if kind == "block":
+                _, owner, attr, lo, hi = desc
+                return BlockCursor(self, owner, attr, lo, hi)
+            if kind == "gap":
+                _, owner, attr, idx = desc
+                return GapCursor(self, owner, attr, idx)
+            if kind == "arg":
+                return ArgCursor(self, desc[1])
+        except (IndexError, AttributeError, KeyError):
+            return InvalidCursor(self)
+        return InvalidCursor(self)
+
+    def _derive(self, new_root: N.ProcDef, forward_fn: Callable) -> "Procedure":
+        """Create the successor version of this procedure (used by primitives)."""
+        return Procedure(new_root, provenance=(self, forward_fn))
+
+    # -- convenience methods mirroring the Exo API used in the paper ---------------
+
+    def add_assertion(self, cond: str) -> "Procedure":
+        """Return a copy of this procedure with an extra assertion."""
+        from ..frontend.parser import parse_expr_fragment
+
+        new_root = copy_node_proc(self._root)
+        new_root.preds = list(new_root.preds) + [parse_expr_fragment(cond, new_root)]
+        from ..cursors.forwarding import identity_forward
+
+        return self._derive(new_root, identity_forward)
+
+    def partial_eval(self, *vals, **kwvals) -> "Procedure":
+        """Specialise leading size/index/bool arguments to constant values."""
+        binding: Dict[str, object] = {}
+        size_args = [a for a in self._root.args if not isinstance(a.typ, TensorType) and a.typ.is_indexable() or (isinstance(a.typ, ScalarType) and a.typ.is_bool())]
+        if vals:
+            candidates = [
+                a for a in self._root.args
+                if isinstance(a.typ, ScalarType) and (a.typ.is_indexable() or a.typ.is_bool())
+            ]
+            for a, v in zip(candidates, vals):
+                binding[a.name.name] = v
+        binding.update(kwvals)
+        if not binding:
+            raise SchedulingError("partial_eval: nothing to specialise")
+
+        new_root = copy_node_proc(self._root)
+        sub_env = {}
+        new_args = []
+        for a in new_root.args:
+            if a.name.name in binding:
+                val = binding[a.name.name]
+                sub_env[a.name] = N.Const(val, int_t)
+            else:
+                new_args.append(a)
+        from ..ir.build import substitute_reads
+
+        new_root.args = new_args
+        new_root.preds = [substitute_reads(p, sub_env) for p in new_root.preds]
+        new_root.body = [substitute_reads(s, sub_env) for s in new_root.body]
+        for a in new_root.args:
+            if isinstance(a.typ, TensorType):
+                a.typ = TensorType(
+                    a.typ.base,
+                    [substitute_reads(e, sub_env) for e in a.typ.shape],
+                    a.typ.is_window,
+                )
+        from ..cursors.forwarding import identity_forward
+        from ..primitives.simplify_ops import _simplify_root
+
+        new_root = _simplify_root(new_root)
+        return self._derive(new_root, identity_forward)
+
+    def transpose(self) -> "Procedure":  # pragma: no cover - convenience only
+        raise NotImplementedError("transpose is not part of the reproduced primitive set")
+
+    # -- equality / hashing --------------------------------------------------------
+
+    def __hash__(self):
+        return id(self._root)
+
+    def __eq__(self, other):
+        return self is other
+
+
+def copy_node_proc(root: N.ProcDef) -> N.ProcDef:
+    """Deep-copy a procedure definition (sharing symbols)."""
+    new = copy_node(root)
+    # copy argument list and types (copy_node handles child fields generically,
+    # but FnArg/ProcDef fields are not in the navigable child set)
+    new_args = []
+    for a in root.args:
+        typ = a.typ
+        if isinstance(typ, TensorType):
+            typ = TensorType(typ.base, [copy_node(e) for e in typ.shape], typ.is_window)
+        new_args.append(N.FnArg(a.name, typ, a.mem))
+    new.args = new_args
+    new.preds = [copy_node(p) for p in root.preds]
+    new.body = [copy_node(s) for s in root.body]
+    new.name = root.name
+    new.instr = root.instr
+    return new

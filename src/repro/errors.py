@@ -1,0 +1,43 @@
+"""User-facing error types.
+
+The paper distinguishes three kinds of user-facing errors (Section 3.3):
+
+* :class:`SchedulingError` — raised by the compiler analysis when a primitive
+  would not preserve functional equivalence (or its structural preconditions
+  fail).  Schedules catch this to implement fallback strategies.
+* :class:`InvalidCursorError` — raised when navigating a cursor to an invalid
+  location (e.g. ``parent()`` of a top-level statement) or when using a cursor
+  that was invalidated by forwarding.
+* Internal compiler errors — plain exceptions signalling implementation bugs;
+  user schedules should *not* catch these.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ExoError",
+    "SchedulingError",
+    "InvalidCursorError",
+    "ParseError",
+    "BackendError",
+]
+
+
+class ExoError(Exception):
+    """Base class for all user-facing errors of the scheduling language."""
+
+
+class SchedulingError(ExoError):
+    """A scheduling primitive could not be applied safely."""
+
+
+class InvalidCursorError(ExoError):
+    """A cursor navigation or forwarding produced an invalid location."""
+
+
+class ParseError(ExoError):
+    """The object-code front-end rejected the input program."""
+
+
+class BackendError(ExoError):
+    """A backend (code-generation time) check failed."""

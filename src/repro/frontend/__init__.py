@@ -1,0 +1,16 @@
+"""Front-end: surface-syntax parsing, decorators, and pattern matching."""
+
+from .decorators import instr, proc, proc_from_source
+from .parser import parse_expr_fragment, parse_proc_function, parse_proc_source
+from .pattern import find_pattern_matches, parse_pattern
+
+__all__ = [
+    "instr",
+    "proc",
+    "proc_from_source",
+    "parse_expr_fragment",
+    "parse_proc_function",
+    "parse_proc_source",
+    "find_pattern_matches",
+    "parse_pattern",
+]

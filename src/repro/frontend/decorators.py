@@ -1,0 +1,49 @@
+"""The ``@proc`` and ``@instr`` decorators.
+
+``@proc`` turns a Python function written in the object-language surface
+syntax into a :class:`~repro.core.procedure.Procedure`.
+
+``@instr(c_template, cost=...)`` additionally marks the procedure as a
+hardware *instruction*: its body gives the semantics (used by the interpreter
+and by ``replace`` for unification) while the template is emitted verbatim by
+the C backend, exactly as in Exo's exocompilation model.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..core.procedure import Procedure
+from ..ir.nodes import InstrInfo
+from .parser import parse_proc_function, parse_proc_source
+
+__all__ = ["proc", "instr", "proc_from_source"]
+
+
+def proc(func: Callable) -> Procedure:
+    """Decorator: parse ``func`` as object code and return a Procedure."""
+    root = parse_proc_function(func)
+    return Procedure(root)
+
+
+def instr(c_instr: str, c_global: str = "", cost: float = 1.0):
+    """Decorator factory: like ``@proc`` but attaches an instruction template.
+
+    Example::
+
+        @instr("{dst_data} = _mm256_loadu_ps(&{src_data});", cost=1.0)
+        def mm256_loadu_ps(dst: [f32][8] @ AVX2, src: [f32][8] @ DRAM):
+            for i in seq(0, 8):
+                dst[i] = src[i]
+    """
+
+    def wrapper(func: Callable) -> Procedure:
+        root = parse_proc_function(func)
+        return Procedure(root, instr_info=InstrInfo(c_instr, c_global, cost))
+
+    return wrapper
+
+
+def proc_from_source(src: str, globals_env: Optional[dict] = None) -> Procedure:
+    """Parse object code from a source string (useful for tests and tools)."""
+    return Procedure(parse_proc_source(src, globals_env))

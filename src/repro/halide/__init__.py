@@ -1,0 +1,28 @@
+"""Halide reproduction: blur/unsharp kernels, the H_* scheduling library
+(nominal references on top of cursors), and their schedules (Section 6.3.2)."""
+
+from .kernels import make_blur, make_unsharp
+from .library import (
+    H_compute_at,
+    H_compute_store_at,
+    H_parallel,
+    H_store_in,
+    H_tile,
+    H_vectorize,
+    producer_loop_nest,
+)
+from .schedules import schedule_blur, schedule_unsharp
+
+__all__ = [
+    "make_blur",
+    "make_unsharp",
+    "H_tile",
+    "H_parallel",
+    "H_vectorize",
+    "H_store_in",
+    "H_compute_at",
+    "H_compute_store_at",
+    "producer_loop_nest",
+    "schedule_blur",
+    "schedule_unsharp",
+]

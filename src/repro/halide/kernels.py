@@ -1,0 +1,57 @@
+"""Image-processing kernels: 3×3 box blur and unsharp masking (Section 6.3.2).
+
+The object code is the two-stage (producer/consumer) form that the Halide
+algorithm of Figure 11 lowers to in Exo's explicit-loop IR: ``blur_x`` is a
+full-image intermediate buffer computed before ``blur_y``.  Input images are
+restricted to whole multiples of the tile size, as in the paper.
+"""
+
+from __future__ import annotations
+
+from ..frontend.decorators import proc_from_source
+
+__all__ = ["make_blur", "make_unsharp"]
+
+
+def make_blur():
+    """3×3 box blur, separable producer/consumer form."""
+    return proc_from_source(
+        """
+def blur(H: size, W: size, inp: f32[H + 2, W + 2] @ DRAM, out: f32[H, W] @ DRAM):
+    assert H % 32 == 0
+    assert W % 256 == 0
+    blur_x: f32[H + 2, W] @ DRAM
+    for y in seq(0, H + 2):
+        for x in seq(0, W):
+            blur_x[y, x] = (inp[y, x] + inp[y, x + 1] + inp[y, x + 2]) / 3.0
+    for y in seq(0, H):
+        for x in seq(0, W):
+            out[y, x] = (blur_x[y, x] + blur_x[y + 1, x] + blur_x[y + 2, x]) / 3.0
+"""
+    )
+
+
+def make_unsharp():
+    """Unsharp masking: sharpen by subtracting a blurred copy.
+
+    ``out = (1 + amount) * inp - amount * blur(inp)`` with a separable 3×3
+    blur, again in producer/consumer form.
+    """
+    return proc_from_source(
+        """
+def unsharp(H: size, W: size, amount: f32, inp: f32[H + 2, W + 2] @ DRAM, out: f32[H, W] @ DRAM):
+    assert H % 32 == 0
+    assert W % 256 == 0
+    blur_x: f32[H + 2, W] @ DRAM
+    blur_y: f32[H, W] @ DRAM
+    for y in seq(0, H + 2):
+        for x in seq(0, W):
+            blur_x[y, x] = (inp[y, x] + inp[y, x + 1] + inp[y, x + 2]) / 3.0
+    for y in seq(0, H):
+        for x in seq(0, W):
+            blur_y[y, x] = (blur_x[y, x] + blur_x[y + 1, x] + blur_x[y + 2, x]) / 3.0
+    for y in seq(0, H):
+        for x in seq(0, W):
+            out[y, x] = (1.0 + amount) * inp[y + 1, x + 1] - amount * blur_y[y, x]
+"""
+    )

@@ -1,0 +1,5 @@
+"""Object-language interpreter (numpy-backed reference semantics)."""
+
+from .interpreter import InterpError, check_equiv, make_random_args, run_proc
+
+__all__ = ["InterpError", "check_equiv", "make_random_args", "run_proc"]

@@ -1,0 +1,304 @@
+"""Reference interpreter for the object language.
+
+The interpreter executes procedures against numpy buffers and is the ground
+truth used by the test suite to check that scheduling preserved functional
+equivalence (the role the paper's SMT-checked semantics play for Exo 2), and
+by the performance model's validation tests.
+
+``@instr`` procedures are executed through their bodies, which define their
+semantics, exactly as in Exo's exocompilation model.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..errors import ExoError
+from ..ir import nodes as N
+from ..ir.externs import extern_by_name
+from ..ir.syms import Sym
+from ..ir.types import ScalarType, TensorType
+
+__all__ = ["run_proc", "InterpError", "make_random_args", "check_equiv"]
+
+
+class InterpError(ExoError):
+    """Raised when object code cannot be executed (e.g. out-of-bounds access)."""
+
+
+_DTYPES = {
+    "f16": np.float32,  # interpreted at f32 precision
+    "f32": np.float32,
+    "f64": np.float64,
+    "i8": np.int32,  # interpreted widely; quantisation handled by externs
+    "i16": np.int32,
+    "i32": np.int32,
+}
+
+
+def _dtype_for(typ) -> np.dtype:
+    base = typ.basetype() if isinstance(typ, TensorType) else typ
+    return np.dtype(_DTYPES.get(base.name, np.float64))
+
+
+class _Interp:
+    def __init__(self, config_state: Optional[Dict] = None):
+        self.config_state = config_state if config_state is not None else {}
+
+    # -- expressions -------------------------------------------------------------
+
+    def eval_expr(self, e: N.Expr, env: Dict[Sym, object]):
+        if isinstance(e, N.Const):
+            return e.val
+        if isinstance(e, N.Read):
+            val = env[e.name]
+            if not e.idx:
+                if isinstance(val, np.ndarray) and val.ndim == 0:
+                    return val[()]
+                return val
+            idx = tuple(self._eval_index(i, env) for i in e.idx)
+            try:
+                return val[idx]
+            except IndexError as exc:
+                raise InterpError(f"out-of-bounds read of {e.name}{list(idx)}") from exc
+        if isinstance(e, N.BinOp):
+            lhs = self.eval_expr(e.lhs, env)
+            rhs = self.eval_expr(e.rhs, env)
+            return self._binop(e.op, lhs, rhs)
+        if isinstance(e, N.USub):
+            return -self.eval_expr(e.arg, env)
+        if isinstance(e, N.WindowExpr):
+            return self._eval_window(e, env)
+        if isinstance(e, N.StrideExpr):
+            arr = env[e.name]
+            if not isinstance(arr, np.ndarray) or arr.ndim == 0:
+                return 1
+            return arr.strides[e.dim] // arr.itemsize
+        if isinstance(e, N.Extern):
+            fn = extern_by_name(e.fname)
+            args = [self.eval_expr(a, env) for a in e.args]
+            return fn.impl(*args)
+        if isinstance(e, N.ReadConfig):
+            key = (id(e.config), e.field_name)
+            if key not in self.config_state:
+                raise InterpError(
+                    f"read of configuration field {e.config.name()}.{e.field_name} before any write"
+                )
+            return self.config_state[key]
+        raise InterpError(f"cannot evaluate expression of type {type(e).__name__}")
+
+    def _eval_index(self, e: N.Expr, env) -> int:
+        v = self.eval_expr(e, env)
+        return int(v)
+
+    def _binop(self, op: str, lhs, rhs):
+        both_int = isinstance(lhs, (int, np.integer)) and isinstance(rhs, (int, np.integer))
+        if op == "+":
+            return lhs + rhs
+        if op == "-":
+            return lhs - rhs
+        if op == "*":
+            return lhs * rhs
+        if op == "/":
+            if both_int:
+                return int(lhs) // int(rhs)
+            return lhs / rhs
+        if op == "%":
+            return lhs % rhs
+        if op == "<":
+            return lhs < rhs
+        if op == "<=":
+            return lhs <= rhs
+        if op == ">":
+            return lhs > rhs
+        if op == ">=":
+            return lhs >= rhs
+        if op == "==":
+            return lhs == rhs
+        if op == "!=":
+            return lhs != rhs
+        if op == "and":
+            return bool(lhs) and bool(rhs)
+        if op == "or":
+            return bool(lhs) or bool(rhs)
+        raise InterpError(f"unknown operator {op!r}")
+
+    def _eval_window(self, w: N.WindowExpr, env):
+        arr = env[w.name]
+        if not isinstance(arr, np.ndarray):
+            raise InterpError(f"cannot window the non-buffer value {w.name}")
+        index: List[object] = []
+        for d in w.idx:
+            if isinstance(d, N.Interval):
+                lo = self._eval_index(d.lo, env)
+                hi = self._eval_index(d.hi, env)
+                index.append(slice(lo, hi))
+            else:
+                index.append(self._eval_index(d.pt, env))
+        if arr.ndim == 0 and index == [slice(0, 1)]:
+            return arr.reshape(1)
+        return arr[tuple(index)]
+
+    # -- statements ---------------------------------------------------------------
+
+    def exec_stmts(self, stmts: Sequence[N.Stmt], env: Dict[Sym, object]):
+        for s in stmts:
+            self.exec_stmt(s, env)
+
+    def exec_stmt(self, s: N.Stmt, env: Dict[Sym, object]):
+        if isinstance(s, (N.Assign, N.Reduce)):
+            val = self.eval_expr(s.rhs, env)
+            target = env[s.name]
+            if isinstance(target, np.ndarray):
+                if s.idx:
+                    idx = tuple(self._eval_index(i, env) for i in s.idx)
+                else:
+                    idx = ()
+                try:
+                    if isinstance(s, N.Assign):
+                        target[idx] = val
+                    else:
+                        target[idx] += val
+                except IndexError as exc:
+                    raise InterpError(f"out-of-bounds write to {s.name}{list(idx)}") from exc
+            else:
+                if isinstance(s, N.Assign):
+                    env[s.name] = val
+                else:
+                    env[s.name] = env[s.name] + val
+            return
+        if isinstance(s, N.Alloc):
+            if isinstance(s.typ, TensorType):
+                shape = tuple(self._eval_index(d, env) for d in s.typ.shape)
+                env[s.name] = np.zeros(shape, dtype=_dtype_for(s.typ))
+            else:
+                env[s.name] = np.zeros((), dtype=_dtype_for(s.typ))
+            return
+        if isinstance(s, N.For):
+            lo = self._eval_index(s.lo, env)
+            hi = self._eval_index(s.hi, env)
+            for v in range(lo, hi):
+                env[s.iter] = v
+                self.exec_stmts(s.body, env)
+            return
+        if isinstance(s, N.If):
+            if bool(self.eval_expr(s.cond, env)):
+                self.exec_stmts(s.body, env)
+            else:
+                self.exec_stmts(s.orelse, env)
+            return
+        if isinstance(s, N.Pass):
+            return
+        if isinstance(s, N.Call):
+            self.exec_call(s, env)
+            return
+        if isinstance(s, N.WindowStmt):
+            env[s.name] = self._eval_window(s.rhs, env)
+            return
+        if isinstance(s, N.WriteConfig):
+            self.config_state[(id(s.config), s.field_name)] = self.eval_expr(s.rhs, env)
+            return
+        raise InterpError(f"cannot execute statement of type {type(s).__name__}")
+
+    def exec_call(self, call: N.Call, env: Dict[Sym, object]):
+        callee = call.proc
+        cdef = callee._root if hasattr(callee, "_root") else callee
+        new_env: Dict[Sym, object] = {}
+        for fn_arg, actual in zip(cdef.args, call.args):
+            if isinstance(fn_arg.typ, TensorType):
+                val = self.eval_expr(actual, env)
+                if not isinstance(val, np.ndarray):
+                    val = np.asarray(val)
+                new_env[fn_arg.name] = val
+            else:
+                new_env[fn_arg.name] = self.eval_expr(actual, env)
+        self.exec_proc(cdef, new_env)
+
+    def exec_proc(self, proc_def: N.ProcDef, env: Dict[Sym, object]):
+        self.exec_stmts(proc_def.body, env)
+
+
+def run_proc(procedure, *pos_args, check_asserts: bool = True, config_state=None, **kw_args):
+    """Execute a :class:`Procedure` on concrete arguments.
+
+    Arguments are given positionally or by name; tensor arguments must be
+    numpy arrays (modified in place), sizes are ints and scalars floats.
+    """
+    root = procedure._root if hasattr(procedure, "_root") else procedure
+    env: Dict[Sym, object] = {}
+    names = [a.name.name for a in root.args]
+    values = dict(zip(names, pos_args))
+    values.update(kw_args)
+    missing = [n for n in names if n not in values]
+    if missing:
+        raise InterpError(f"missing arguments: {missing}")
+    for a in root.args:
+        v = values[a.name.name]
+        if isinstance(a.typ, TensorType) and not isinstance(v, np.ndarray):
+            v = np.asarray(v, dtype=_dtype_for(a.typ))
+            values[a.name.name] = v
+        env[a.name] = v
+
+    interp = _Interp(config_state)
+    if check_asserts:
+        for p in root.preds:
+            if not bool(interp.eval_expr(p, env)):
+                from ..ir.printing import expr_str
+
+                raise InterpError(f"procedure precondition failed: {expr_str(p)}")
+    interp.exec_proc(root, env)
+    return {n: values[n] for n in names}
+
+
+def make_random_args(procedure, size_env: Dict[str, int], seed: int = 0) -> Dict[str, object]:
+    """Construct random concrete arguments for a procedure.
+
+    ``size_env`` supplies values for ``size`` arguments (and any boolean
+    arguments, as 0/1); tensors are filled with uniform random data of their
+    declared element type.
+    """
+    rng = np.random.default_rng(seed)
+    root = procedure._root if hasattr(procedure, "_root") else procedure
+    env_exprs: Dict[Sym, int] = {}
+    out: Dict[str, object] = {}
+    for a in root.args:
+        if isinstance(a.typ, ScalarType) and (a.typ.is_indexable() or a.typ.is_bool()):
+            if a.name.name not in size_env:
+                raise InterpError(f"size_env is missing a value for {a.name.name!r}")
+            val = int(size_env[a.name.name])
+            out[a.name.name] = val
+            env_exprs[a.name] = val
+    interp = _Interp()
+    for a in root.args:
+        if isinstance(a.typ, TensorType):
+            shape = tuple(int(interp.eval_expr(d, env_exprs)) for d in a.typ.shape)
+            if a.typ.base.is_float:
+                data = rng.uniform(-1.0, 1.0, size=shape).astype(_dtype_for(a.typ))
+            else:
+                data = rng.integers(-4, 5, size=shape).astype(_dtype_for(a.typ))
+            out[a.name.name] = data
+        elif isinstance(a.typ, ScalarType) and a.typ.is_numeric:
+            if a.name.name in size_env:
+                out[a.name.name] = float(size_env[a.name.name])
+            else:
+                out[a.name.name] = float(rng.uniform(-1.0, 1.0))
+    return out
+
+
+def check_equiv(p1, p2, size_env: Dict[str, int], *, seed: int = 0, rtol: float = 1e-4, atol: float = 1e-5) -> bool:
+    """Run two procedures on identical random inputs and compare every tensor
+    argument afterwards.  Returns True when all outputs match."""
+    args1 = make_random_args(p1, size_env, seed=seed)
+    args2 = {
+        k: (v.copy() if isinstance(v, np.ndarray) else v) for k, v in make_random_args(p2, size_env, seed=seed).items()
+    }
+    out1 = run_proc(p1, **args1)
+    out2 = run_proc(p2, **args2)
+    for name, v1 in out1.items():
+        if isinstance(v1, np.ndarray):
+            v2 = out2[name]
+            if not np.allclose(v1, v2, rtol=rtol, atol=atol):
+                return False
+    return True

@@ -1,0 +1,50 @@
+"""Configuration state.
+
+Stateful accelerators such as Gemmini expose *configuration registers* that
+must be written before compute instructions are issued (e.g. the load stride
+or the activation function).  The object language models this with ``Config``
+objects: named records of scalar fields that can be read inside expressions
+(``cfg.stride``) and written by ``WriteConfig`` statements (``cfg.stride = e``).
+
+Configs are created by user code (typically a machine/instruction library)
+with :func:`new_config`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from .types import ScalarType
+
+__all__ = ["Config", "new_config"]
+
+
+class Config:
+    """A named record of configuration fields."""
+
+    def __init__(self, name: str, fields: List[Tuple[str, ScalarType]]):
+        self._name = name
+        self._fields: Dict[str, ScalarType] = dict(fields)
+
+    def name(self) -> str:
+        return self._name
+
+    def fields(self) -> List[str]:
+        return list(self._fields.keys())
+
+    def has_field(self, field: str) -> bool:
+        return field in self._fields
+
+    def field_type(self, field: str) -> ScalarType:
+        return self._fields[field]
+
+    def __repr__(self) -> str:
+        return f"Config({self._name})"
+
+    def __str__(self) -> str:
+        return self._name
+
+
+def new_config(name: str, fields: List[Tuple[str, ScalarType]]) -> Config:
+    """Create a new configuration record (user-facing helper)."""
+    return Config(name, fields)

@@ -1,0 +1,70 @@
+"""Extern functions callable from object code expressions.
+
+Externs are pure scalar functions (``relu``, ``clamp``, ``select``, ``sqrt``,
+``fmax``, ``fmin``, ``acc_scale``, …) with a Python reference implementation
+(used by the interpreter) and a C expression template (used by the backend).
+
+Users and machine libraries can register their own externs with
+:func:`register_extern`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+__all__ = ["ExternDef", "register_extern", "extern_by_name", "has_extern"]
+
+
+@dataclass
+class ExternDef:
+    name: str
+    arity: int
+    impl: Callable
+    c_template: str
+    cost: float = 1.0
+
+
+_EXTERNS: Dict[str, ExternDef] = {}
+
+
+def register_extern(name: str, arity: int, impl: Callable, c_template: str, cost: float = 1.0) -> ExternDef:
+    """Register an extern function usable inside object-code expressions."""
+    d = ExternDef(name, arity, impl, c_template, cost)
+    _EXTERNS[name] = d
+    return d
+
+
+def extern_by_name(name: str) -> ExternDef:
+    if name not in _EXTERNS:
+        raise KeyError(f"unknown extern function: {name!r}")
+    return _EXTERNS[name]
+
+
+def has_extern(name: str) -> bool:
+    return name in _EXTERNS
+
+
+def _select(cond_a, cond_b, if_ge, if_lt):
+    """``select(a, b, x, y)`` — x if a >= b else y (Exo's select builtin)."""
+    return if_ge if cond_a >= cond_b else if_lt
+
+
+def _clamp(x, lo=-128.0, hi=127.0):
+    return max(lo, min(hi, x))
+
+
+register_extern("sin", 1, math.sin, "sin({0})", cost=8.0)
+register_extern("cos", 1, math.cos, "cos({0})", cost=8.0)
+register_extern("sqrt", 1, math.sqrt, "sqrt({0})", cost=4.0)
+register_extern("fabs", 1, abs, "fabs({0})", cost=1.0)
+register_extern("fmax", 2, max, "fmax({0}, {1})", cost=1.0)
+register_extern("fmin", 2, min, "fmin({0}, {1})", cost=1.0)
+register_extern("relu", 1, lambda x: x if x > 0 else 0.0, "(({0}) > 0 ? ({0}) : 0)", cost=1.0)
+register_extern("select", 4, _select, "(({0}) >= ({1}) ? ({2}) : ({3}))", cost=1.0)
+register_extern("clamp", 1, _clamp, "fminf(fmaxf({0}, -128.0f), 127.0f)", cost=2.0)
+register_extern(
+    "acc_scale", 2, lambda x, scale: x * scale, "(({0}) * ({1}))", cost=1.0
+)
+register_extern("expf", 1, math.exp, "expf({0})", cost=8.0)

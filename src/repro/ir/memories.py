@@ -1,0 +1,104 @@
+"""Memory spaces of the object language.
+
+A memory space is attached to every buffer/argument with the ``@`` syntax
+(e.g. ``A: f32[M, N] @ DRAM``).  Memory spaces participate in
+
+* backend checks (``set_memory`` is validated at code-generation time),
+* the performance model (register-resident buffers are free to access,
+  scratchpad accesses are cheap, DRAM accesses pay bandwidth), and
+* instruction selection (``replace`` only unifies buffers whose memory space
+  matches the instruction's expectations).
+
+New hardware targets define their own memory spaces externally to the
+compiler, exactly as in Exo/Exo 2 — see :mod:`repro.machines`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+__all__ = [
+    "Memory",
+    "MemoryKind",
+    "DRAM",
+    "DRAM_STACK",
+    "DRAM_STATIC",
+    "memory_by_name",
+    "register_memory",
+]
+
+
+class MemoryKind:
+    """Coarse classification used by the performance model."""
+
+    DRAM = "dram"
+    STACK = "stack"
+    STATIC = "static"
+    VECTOR_REG = "vector_register"
+    SCRATCHPAD = "scratchpad"
+    ACCUMULATOR = "accumulator"
+
+
+class Memory:
+    """A memory space.
+
+    Parameters
+    ----------
+    name:
+        Identifier used in the surface syntax after ``@``.
+    kind:
+        One of :class:`MemoryKind` — drives cost modelling.
+    lane_width_bits:
+        For vector-register memories, the register width in bits (e.g. 256 for
+        AVX2, 512 for AVX-512).  ``None`` otherwise.
+    capacity_bytes:
+        Optional capacity bound (used by Gemmini's scratchpad/accumulator and
+        by ``autolift_alloc``-style library code).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        kind: str = MemoryKind.DRAM,
+        *,
+        lane_width_bits: Optional[int] = None,
+        capacity_bytes: Optional[int] = None,
+    ):
+        self.name = name
+        self.kind = kind
+        self.lane_width_bits = lane_width_bits
+        self.capacity_bytes = capacity_bytes
+        register_memory(self)
+
+    def is_vector_register(self) -> bool:
+        return self.kind == MemoryKind.VECTOR_REG
+
+    def is_dram_like(self) -> bool:
+        return self.kind in (MemoryKind.DRAM, MemoryKind.STACK, MemoryKind.STATIC)
+
+    def __repr__(self) -> str:
+        return self.name
+
+    def __str__(self) -> str:
+        return self.name
+
+
+_MEMORY_REGISTRY: Dict[str, Memory] = {}
+
+
+def register_memory(mem: Memory) -> Memory:
+    """Register a memory space so the front-end can resolve it by name."""
+    _MEMORY_REGISTRY[mem.name] = mem
+    return mem
+
+
+def memory_by_name(name: str) -> Memory:
+    if name not in _MEMORY_REGISTRY:
+        raise KeyError(f"unknown memory space: {name!r}")
+    return _MEMORY_REGISTRY[name]
+
+
+# The three DRAM-class memories built into the object language.
+DRAM = Memory("DRAM", MemoryKind.DRAM)
+DRAM_STACK = Memory("DRAM_STACK", MemoryKind.STACK)
+DRAM_STATIC = Memory("DRAM_STATIC", MemoryKind.STATIC)

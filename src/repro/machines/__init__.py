@@ -1,0 +1,22 @@
+"""Hardware target descriptions (defined externally to the compiler).
+
+* :data:`AVX2`, :data:`AVX512` — x86 SIMD targets (Section 6.1.1, 6.2)
+* :data:`GEMMINI` — the Gemmini matrix accelerator (Section 6.1.2, Appendix B)
+
+New targets are created with :func:`make_vector_machine` or by instantiating
+:class:`GemminiMachine` — no compiler changes required.
+"""
+
+from .gemmini import GEMM_ACCUM, GEMM_SCRATCH, GEMMINI, GemminiMachine
+from .vector import AVX2, AVX512, VectorMachine, make_vector_machine
+
+__all__ = [
+    "AVX2",
+    "AVX512",
+    "VectorMachine",
+    "make_vector_machine",
+    "GEMMINI",
+    "GemminiMachine",
+    "GEMM_SCRATCH",
+    "GEMM_ACCUM",
+]

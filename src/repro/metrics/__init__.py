@@ -1,0 +1,5 @@
+"""Lines-of-code and rewrite-count metrics (Figures 6c, 9, 13c)."""
+
+from .loc import count_loc, function_loc, generated_c_loc, module_loc, schedule_loc
+
+__all__ = ["count_loc", "function_loc", "module_loc", "schedule_loc", "generated_c_loc"]

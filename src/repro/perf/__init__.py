@@ -1,0 +1,23 @@
+"""Performance modelling: cost model for scheduled code + comparator baselines."""
+
+from .baselines import BASELINES, LibraryModel, library_model
+from .model import (
+    AVX2_SPEC,
+    AVX512_SPEC,
+    GEMMINI_SPEC,
+    CostModel,
+    CostReport,
+    MachineSpec,
+)
+
+__all__ = [
+    "BASELINES",
+    "LibraryModel",
+    "library_model",
+    "AVX2_SPEC",
+    "AVX512_SPEC",
+    "GEMMINI_SPEC",
+    "CostModel",
+    "CostReport",
+    "MachineSpec",
+]

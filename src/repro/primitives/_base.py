@@ -1,0 +1,247 @@
+"""Shared machinery for scheduling primitives.
+
+Every primitive has the type ``Op = Proc × Cursor × ... → Proc`` (Section 3.2):
+it takes a :class:`Procedure`, reference arguments (cursors or pattern
+strings), and returns a new, functionally equivalent :class:`Procedure`.
+Primitives raise :class:`SchedulingError` when their safety conditions cannot
+be established.
+
+This module provides
+
+* the ``@scheduling_primitive`` decorator — argument validation, implicit
+  cursor forwarding (``expand_dim(p, c, ...)`` is shorthand for
+  ``expand_dim(p, p.forward(c), ...)``), and rewrite counting,
+* cursor/pattern coercion helpers shared by all primitives.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Callable, List, Optional, Union
+
+from ..core.procedure import Procedure
+from ..cursors.cursor import (
+    AllocCursor,
+    ArgCursor,
+    BlockCursor,
+    Cursor,
+    ExprCursor,
+    ForCursor,
+    GapCursor,
+    InvalidCursor,
+    StmtCursor,
+    make_stmt_cursor,
+)
+from ..errors import InvalidCursorError, SchedulingError
+from ..ir import nodes as N
+from ..ir.syms import Sym
+from .counter import record_rewrite
+
+__all__ = [
+    "scheduling_primitive",
+    "require",
+    "to_stmt_cursor",
+    "to_loop_cursor",
+    "to_if_cursor",
+    "to_block_cursor",
+    "to_gap_cursor",
+    "to_alloc_cursor",
+    "to_expr_cursor",
+    "proc_fact_env",
+    "fresh_sym",
+    "block_coords",
+    "stmt_coords",
+]
+
+
+def scheduling_primitive(fn: Callable) -> Callable:
+    """Decorator marking a function as a scheduling primitive."""
+
+    @functools.wraps(fn)
+    def wrapper(proc, *args, **kwargs):
+        if not isinstance(proc, Procedure):
+            raise TypeError(
+                f"{fn.__name__}: first argument must be a Procedure, got {type(proc).__name__}"
+            )
+        record_rewrite(fn.__name__)
+        return fn(proc, *args, **kwargs)
+
+    wrapper.__wrapped__ = fn
+    wrapper.is_scheduling_primitive = True
+    return wrapper
+
+
+def require(cond: bool, msg: str) -> None:
+    """Raise :class:`SchedulingError` unless ``cond`` holds."""
+    if not cond:
+        raise SchedulingError(msg)
+
+
+def _forwarded(proc: Procedure, cursor: Cursor) -> Cursor:
+    """Implicitly forward a cursor into ``proc``'s reference frame."""
+    if cursor._proc is proc:
+        return cursor
+    fwd = proc.forward(cursor)
+    if isinstance(fwd, InvalidCursor):
+        raise InvalidCursorError("cursor was invalidated by an earlier transformation")
+    return fwd
+
+
+def to_stmt_cursor(proc: Procedure, ref, kinds=None) -> StmtCursor:
+    """Coerce ``ref`` (cursor or pattern string) to a statement cursor."""
+    if isinstance(ref, str):
+        bare_name = ref.replace("_", "a").replace("#", "").replace(" ", "").isalnum() and not any(
+            ch in ref for ch in "[]():=+<>*"
+        )
+        cur = None
+        if bare_name:
+            try:
+                cur = proc.find_loop(ref)
+            except InvalidCursorError:
+                cur = None
+        if cur is None:
+            cur = proc.find(ref)
+        if isinstance(cur, BlockCursor):
+            cur = cur[0]
+    elif isinstance(ref, BlockCursor):
+        cur = _forwarded(proc, ref)[0]
+    elif isinstance(ref, Cursor):
+        cur = _forwarded(proc, ref)
+    else:
+        raise TypeError(f"expected a cursor or pattern string, got {type(ref).__name__}")
+    if not isinstance(cur, StmtCursor):
+        raise SchedulingError(f"expected a statement cursor, got {type(cur).__name__}")
+    if kinds is not None and not isinstance(cur, kinds):
+        names = ", ".join(k.__name__ for k in (kinds if isinstance(kinds, tuple) else (kinds,)))
+        raise SchedulingError(f"expected a cursor of kind {names}, got {type(cur).__name__}")
+    return cur
+
+
+def to_loop_cursor(proc: Procedure, ref) -> ForCursor:
+    """Coerce ``ref`` to a loop cursor (accepts loop names like ``'i'``)."""
+    if isinstance(ref, str):
+        try:
+            return proc.find_loop(ref)
+        except InvalidCursorError:
+            cur = proc.find(ref)
+            if isinstance(cur, BlockCursor):
+                cur = cur[0]
+            if isinstance(cur, ForCursor):
+                return cur
+            raise SchedulingError(f"{ref!r} does not refer to a loop")
+    cur = to_stmt_cursor(proc, ref)
+    if not isinstance(cur, ForCursor):
+        raise SchedulingError(f"expected a loop cursor, got {type(cur).__name__}")
+    return cur
+
+
+def to_if_cursor(proc: Procedure, ref):
+    from ..cursors.cursor import IfCursor
+
+    cur = to_stmt_cursor(proc, ref)
+    if not isinstance(cur, IfCursor):
+        raise SchedulingError(f"expected an if-statement cursor, got {type(cur).__name__}")
+    return cur
+
+
+def to_block_cursor(proc: Procedure, ref) -> BlockCursor:
+    """Coerce ``ref`` to a block cursor (single statements become 1-blocks)."""
+    if isinstance(ref, str):
+        cur = proc.find(ref)
+    elif isinstance(ref, Cursor):
+        cur = _forwarded(proc, ref)
+    else:
+        raise TypeError(f"expected a cursor or pattern string, got {type(ref).__name__}")
+    if isinstance(cur, BlockCursor):
+        return cur
+    if isinstance(cur, StmtCursor):
+        return cur.as_block()
+    raise SchedulingError(f"expected a block of statements, got {type(cur).__name__}")
+
+
+def to_gap_cursor(proc: Procedure, ref) -> GapCursor:
+    if isinstance(ref, GapCursor):
+        g = _forwarded(proc, ref)
+        if not isinstance(g, GapCursor):
+            raise SchedulingError("gap cursor was invalidated")
+        return g
+    if isinstance(ref, (str, StmtCursor, BlockCursor)):
+        cur = to_block_cursor(proc, ref)
+        return cur.after()
+    raise TypeError(f"expected a gap cursor, got {type(ref).__name__}")
+
+
+def to_alloc_cursor(proc: Procedure, ref) -> Union[AllocCursor, ArgCursor]:
+    """Coerce ``ref`` (cursor, buffer name, or pattern) to an allocation cursor."""
+    if isinstance(ref, str) and ":" not in ref:
+        cur = proc.find_alloc_or_arg(ref)
+    elif isinstance(ref, str):
+        cur = proc.find(ref)
+        if isinstance(cur, BlockCursor):
+            cur = cur[0]
+    elif isinstance(ref, Cursor):
+        cur = _forwarded(proc, ref)
+        if isinstance(cur, BlockCursor):
+            cur = cur[0]
+    else:
+        raise TypeError(f"expected a cursor or buffer name, got {type(ref).__name__}")
+    if not isinstance(cur, (AllocCursor, ArgCursor)):
+        raise SchedulingError(f"expected an allocation or argument, got {type(cur).__name__}")
+    return cur
+
+
+def to_expr_cursor(proc: Procedure, ref) -> ExprCursor:
+    if isinstance(ref, str):
+        cur = proc.find(ref)
+    elif isinstance(ref, Cursor):
+        cur = _forwarded(proc, ref)
+    else:
+        raise TypeError(f"expected a cursor or pattern string, got {type(ref).__name__}")
+    if not isinstance(cur, ExprCursor):
+        raise SchedulingError(f"expected an expression cursor, got {type(cur).__name__}")
+    return cur
+
+
+def proc_fact_env(proc: Procedure, at_path=()):
+    """Build a fact environment from the procedure's assertions plus the loop
+    bounds and guard conditions enclosing ``at_path``."""
+    from ..analysis.linear import FactEnv
+    from ..ir.build import get_node
+
+    env = FactEnv.from_proc(proc._root)
+    node = proc._root
+    walked = []
+    for step in at_path:
+        walked.append(node)
+        attr, idx = step
+        child = getattr(node, attr)
+        node = child if idx is None else child[idx]
+        if isinstance(node, N.For):
+            pass
+    # second pass: add loop/guard facts for enclosing statements
+    node = proc._root
+    for step in at_path:
+        attr, idx = step
+        child = getattr(node, attr)
+        nxt = child if idx is None else child[idx]
+        if isinstance(node, N.For) and attr == "body":
+            env = env.with_loop(node.iter, node.lo, node.hi)
+        if isinstance(node, N.If) and attr == "body":
+            env.add_predicate(node.cond)
+        node = nxt
+    return env
+
+
+def fresh_sym(name: str) -> Sym:
+    return Sym(name)
+
+
+def block_coords(block: BlockCursor):
+    """(owner_path, attr, lo, hi) of a block cursor."""
+    return block._owner_path, block._attr, block._lo, block._hi
+
+
+def stmt_coords(stmt: StmtCursor):
+    """(owner_path, attr, idx) of a statement cursor."""
+    attr, idx = stmt._path[-1]
+    return stmt._path[:-1], attr, idx

@@ -1,0 +1,110 @@
+"""Backend-checked annotation primitives (Appendix A.7): ``set_memory``,
+``set_precision``, ``parallelize_loop``, ``set_window``.
+
+These primitives rewrite annotations; their consistency is re-checked by the
+backend immediately before code generation (see :mod:`repro.backend.checks`).
+"""
+
+from __future__ import annotations
+
+from ..analysis.effects import loop_iterations_commute
+from ..cursors.cursor import ArgCursor
+from ..cursors.forwarding import identity_forward
+from ..errors import SchedulingError
+from ..ir import nodes as N
+from ..ir.build import map_exprs, map_stmts, set_node, walk
+from ..ir.memories import Memory, memory_by_name
+from ..ir.types import ScalarType, TensorType, scalar_type_from_name
+from ._base import (
+    proc_fact_env,
+    require,
+    scheduling_primitive,
+    to_alloc_cursor,
+    to_loop_cursor,
+)
+
+__all__ = ["set_memory", "set_precision", "parallelize_loop", "set_window"]
+
+
+@scheduling_primitive
+def set_memory(proc, buf, mem):
+    """Change the memory space annotation of an allocation or argument."""
+    if isinstance(mem, str):
+        mem = memory_by_name(mem)
+    require(isinstance(mem, Memory), "set_memory: expected a Memory")
+    cur = to_alloc_cursor(proc, buf)
+    from ..core.procedure import copy_node_proc
+
+    new_root = copy_node_proc(proc._root)
+    if isinstance(cur, ArgCursor):
+        new_root.args[cur._idx].mem = mem
+    else:
+        sym = cur.buf_sym()
+        for node, _ in walk(new_root):
+            if isinstance(node, N.Alloc) and node.name is sym:
+                node.mem = mem
+    return proc._derive(new_root, identity_forward)
+
+
+@scheduling_primitive
+def set_precision(proc, buf, precision):
+    """Change the scalar precision of a buffer or argument."""
+    if isinstance(precision, str):
+        precision = scalar_type_from_name(precision)
+    require(
+        isinstance(precision, ScalarType) and precision.is_numeric,
+        "set_precision: expected a numeric scalar type",
+    )
+    cur = to_alloc_cursor(proc, buf)
+    from ..core.procedure import copy_node_proc
+
+    new_root = copy_node_proc(proc._root)
+
+    def retype(t):
+        if isinstance(t, TensorType):
+            return TensorType(precision, t.shape, t.is_window)
+        return precision
+
+    if isinstance(cur, ArgCursor):
+        new_root.args[cur._idx].typ = retype(new_root.args[cur._idx].typ)
+        sym = cur.sym()
+    else:
+        sym = cur.buf_sym()
+        for node, _ in walk(new_root):
+            if isinstance(node, N.Alloc) and node.name is sym:
+                node.typ = retype(node.typ)
+    # fix the result type recorded on reads/writes of this buffer
+    for node, _ in walk(new_root):
+        if isinstance(node, (N.Read, N.Assign, N.Reduce)) and getattr(node, "name", None) is sym:
+            node.typ = precision
+    return proc._derive(new_root, identity_forward)
+
+
+@scheduling_primitive
+def parallelize_loop(proc, loop):
+    """Annotate a loop as parallel (checked: no cross-iteration RAW/WAW)."""
+    loop = to_loop_cursor(proc, loop)
+    node = loop._node()
+    env = proc_fact_env(proc, loop._path)
+    require(
+        loop_iterations_commute(node, env),
+        "parallelize_loop: loop iterations carry dependencies",
+    )
+    new_node = N.For(node.iter, node.lo, node.hi, node.body, "par")
+    new_root = set_node(proc._root, loop._path, new_node)
+    return proc._derive(new_root, identity_forward)
+
+
+@scheduling_primitive
+def set_window(proc, buf, is_window: bool = True):
+    """Change a tensor argument between dense and window calling convention."""
+    cur = to_alloc_cursor(proc, buf)
+    require(isinstance(cur, ArgCursor), "set_window: only arguments can be windowed")
+    typ = cur.typ()
+    require(isinstance(typ, TensorType), "set_window: expected a tensor argument")
+    from ..core.procedure import copy_node_proc
+
+    new_root = copy_node_proc(proc._root)
+    old = new_root.args[cur._idx].typ
+    new_root.args[cur._idx].typ = TensorType(old.base, old.shape, bool(is_window))
+    return proc._derive(new_root, identity_forward)

@@ -1,0 +1,763 @@
+"""Buffer-transformation primitives (Appendix A.5).
+
+``lift_alloc``, ``sink_alloc``, ``delete_buffer``, ``reuse_buffer``,
+``resize_dim``, ``expand_dim``, ``rearrange_dim``, ``divide_dim``,
+``mult_dim``, ``unroll_buffer``, ``bind_expr``, ``stage_mem``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Union
+
+from ..analysis.effects import accesses_of, read_buffers, written_buffers
+from ..analysis.linear import const_value, prove, prove_divisible, simplify_expr
+from ..cursors.cursor import AllocCursor, BlockCursor, ExprCursor, StmtCursor
+from ..cursors.forwarding import EditTrace, identity_forward
+from ..errors import SchedulingError
+from ..ir import nodes as N
+from ..ir.build import (
+    copy_node,
+    copy_stmts,
+    get_node,
+    map_exprs,
+    replace_stmts,
+    structurally_equal,
+    walk,
+)
+from ..ir.memories import DRAM
+from ..ir.syms import Sym
+from ..ir.types import ScalarType, TensorType, bool_t, index_t, int_t
+from ._base import (
+    block_coords,
+    proc_fact_env,
+    require,
+    scheduling_primitive,
+    stmt_coords,
+    to_alloc_cursor,
+    to_block_cursor,
+    to_expr_cursor,
+    to_loop_cursor,
+    to_stmt_cursor,
+)
+
+__all__ = [
+    "lift_alloc",
+    "sink_alloc",
+    "delete_buffer",
+    "reuse_buffer",
+    "resize_dim",
+    "expand_dim",
+    "rearrange_dim",
+    "divide_dim",
+    "mult_dim",
+    "unroll_buffer",
+    "bind_expr",
+    "stage_mem",
+    "stage_reduction",
+]
+
+
+def _const(v: int) -> N.Const:
+    return N.Const(v, int_t)
+
+
+def _alloc_cursor(proc, buf) -> AllocCursor:
+    cur = to_alloc_cursor(proc, buf)
+    require(isinstance(cur, AllocCursor), "expected an allocation (not a procedure argument)")
+    return cur
+
+
+def _rewrite_accesses(root, sym: Sym, idx_fn: Callable[[List[N.Expr]], List[N.Expr]]):
+    """Rewrite the index lists of every access to ``sym`` in ``root``.
+
+    Returns a new tree.  Raises if the buffer is accessed through windows
+    (whole-buffer accesses cannot be index-rewritten).
+    """
+
+    def fix(e: N.Expr) -> N.Expr:
+        if isinstance(e, N.WindowExpr) and e.name is sym:
+            raise SchedulingError("buffer is windowed; this transformation does not support windows")
+        if isinstance(e, N.Read) and e.name is sym and e.idx:
+            e.idx = idx_fn(list(e.idx))
+        return e
+
+    def fix_stmt(s):
+        if isinstance(s, (N.Assign, N.Reduce)) and s.name is sym and s.idx:
+            s.idx = idx_fn(list(s.idx))
+        return s
+
+    from ..ir.build import map_stmts
+
+    if isinstance(root, list):
+        new = [map_exprs(s, fix) for s in root]
+        return map_stmts(new, fix_stmt)
+    new = map_exprs(root, fix)
+    return map_stmts([new], fix_stmt)[0] if isinstance(new, N.Stmt) else new
+
+
+def _rewrite_proc_accesses(proc, sym: Sym, idx_fn) -> N.ProcDef:
+    from ..core.procedure import copy_node_proc
+
+    new_root = copy_node_proc(proc._root)
+    new_root.body = _rewrite_accesses(new_root.body, sym, idx_fn)
+    return new_root
+
+
+# ---------------------------------------------------------------------------
+# moving allocations
+# ---------------------------------------------------------------------------
+
+
+@scheduling_primitive
+def lift_alloc(proc, alloc, n_lifts: int = 1):
+    """Move an allocation out of ``n_lifts`` enclosing loops/ifs."""
+    p = proc
+    cur = _alloc_cursor(p, alloc)
+    for _ in range(n_lifts):
+        p, cur = _lift_alloc_once(p, cur)
+    return p
+
+
+def _lift_alloc_once(proc, cur: AllocCursor):
+    node = cur._node()
+    owner_path, attr, idx = stmt_coords(cur)
+    require(bool(owner_path), "lift_alloc: the allocation is already at the procedure top level")
+    parent = get_node(proc._root, owner_path)
+    require(isinstance(parent, (N.For, N.If)), "lift_alloc: the allocation is not inside a loop or if")
+    if isinstance(parent, N.For) and isinstance(node.typ, TensorType):
+        from ..ir.build import used_syms_expr
+
+        for d in node.typ.shape:
+            require(
+                parent.iter not in used_syms_expr(d),
+                "lift_alloc: the buffer shape depends on the loop iterator",
+            )
+    # destination: the gap right before the enclosing loop/if
+    dst_owner, dst_attr, dst_idx = owner_path[:-1], owner_path[-1][0], owner_path[-1][1]
+    trace = EditTrace()
+    trace.move(owner_path, attr, idx, 1, dst_owner, dst_attr, dst_idx)
+    # apply: remove from source, insert at destination
+    new_root = replace_stmts(proc._root, owner_path, attr, idx, 1, [])
+    new_root = replace_stmts(new_root, dst_owner, dst_attr, dst_idx, 0, [copy_node(node)])
+    new_proc = proc._derive(new_root, trace.forward_fn())
+    from ..cursors.cursor import make_stmt_cursor
+
+    new_cur = make_stmt_cursor(new_proc, dst_owner + ((dst_attr, dst_idx),))
+    return new_proc, new_cur
+
+
+@scheduling_primitive
+def sink_alloc(proc, alloc):
+    """Move an allocation into the immediately following loop/if body (the
+    buffer must only be used inside that statement)."""
+    cur = _alloc_cursor(proc, alloc)
+    node = cur._node()
+    nxt = cur.next()
+    require(nxt.is_valid(), "sink_alloc: there is no statement after the allocation")
+    target = nxt._node()
+    require(isinstance(target, (N.For, N.If)), "sink_alloc: the next statement must be a loop or if")
+    owner_path, attr, idx = stmt_coords(cur)
+    parent = get_node(proc._root, owner_path)
+    siblings = getattr(parent, attr)
+    # the buffer must not be used by any other sibling statement
+    for j, s in enumerate(siblings):
+        if j in (idx, idx + 1):
+            continue
+        if node.name in read_buffers([s]) | written_buffers([s]):
+            raise SchedulingError("sink_alloc: the buffer is used outside the target statement")
+
+    target_path = owner_path + ((attr, idx + 1),)
+    trace = EditTrace()
+    # destination inside the loop/if body at index 0; source removal shifts the
+    # target statement's index down by one.
+    dst_owner = owner_path + ((attr, idx),)
+    trace.move(owner_path, attr, idx, 1, dst_owner, "body", 0)
+    new_root = replace_stmts(proc._root, owner_path, attr, idx, 1, [])
+    new_root = replace_stmts(new_root, dst_owner, "body", 0, 0, [copy_node(node)])
+    return proc._derive(new_root, trace.forward_fn())
+
+
+@scheduling_primitive
+def delete_buffer(proc, alloc):
+    """Delete an unused allocation."""
+    cur = _alloc_cursor(proc, alloc)
+    node = cur._node()
+    used = read_buffers(proc._root.body) | written_buffers(proc._root.body)
+    require(node.name not in used, "delete_buffer: the buffer is still used")
+    owner, attr, idx = stmt_coords(cur)
+    new_root = replace_stmts(proc._root, owner, attr, idx, 1, [])
+    trace = EditTrace()
+    trace.delete(owner, attr, idx, 1)
+    return proc._derive(new_root, trace.forward_fn())
+
+
+@scheduling_primitive
+def reuse_buffer(proc, buf_a, buf_b):
+    """Reuse buffer ``a``'s storage for buffer ``b`` (``s[b ↦ a]``)."""
+    cur_a = to_alloc_cursor(proc, buf_a)
+    cur_b = _alloc_cursor(proc, buf_b)
+    node_b = cur_b._node()
+    typ_a, typ_b = cur_a.typ(), node_b.typ
+    require(
+        structurally_equal(typ_a, typ_b) or (not isinstance(typ_a, TensorType) and typ_a == typ_b),
+        "reuse_buffer: the buffers must have the same type and size",
+    )
+    sym_a = cur_a.buf_sym() if isinstance(cur_a, AllocCursor) else cur_a.sym()
+    sym_b = node_b.name
+
+    # `a` must be dead after b's allocation: the first access to `a` in the
+    # following statements (if any) must be a full overwrite (an Assign).
+    owner, attr, idx = stmt_coords(cur_b)
+    owner_node = get_node(proc._root, owner)
+    following = getattr(owner_node, attr)[idx + 1 :]
+    first_access = None
+    for s in following:
+        for acc in accesses_of(s):
+            if acc.buf is sym_a:
+                first_access = acc
+                break
+        if first_access:
+            break
+    require(
+        first_access is None or first_access.kind == "write",
+        "reuse_buffer: the reused buffer is read before being overwritten",
+    )
+
+    # delete b's allocation and rename b -> a
+    new_root = replace_stmts(proc._root, owner, attr, idx, 1, [])
+    from ..ir.build import rename_sym_in_stmts
+
+    new_root.body = rename_sym_in_stmts(new_root.body, sym_b, sym_a)
+    trace = EditTrace()
+    trace.delete(owner, attr, idx, 1)
+    return proc._derive(new_root, trace.forward_fn())
+
+
+# ---------------------------------------------------------------------------
+# dimension surgery
+# ---------------------------------------------------------------------------
+
+
+@scheduling_primitive
+def resize_dim(proc, alloc, dim: int, size, offset=0, *, fold: bool = False, unsafe_disable_check: bool = False):
+    """Resize dimension ``dim`` of a buffer to ``size`` elements starting at
+    ``offset`` (accesses are shifted; with ``fold`` they wrap modulo the new
+    size, enabling circular buffers)."""
+    cur = _alloc_cursor(proc, alloc)
+    node = cur._node()
+    require(isinstance(node.typ, TensorType), "resize_dim: expected a tensor allocation")
+    require(0 <= dim < len(node.typ.shape), "resize_dim: dimension out of range")
+    if isinstance(size, int):
+        size = _const(size)
+    elif isinstance(size, str):
+        from ..frontend.parser import parse_expr_fragment
+
+        size = parse_expr_fragment(size, proc._root)
+    if isinstance(offset, int):
+        offset = _const(offset)
+    elif isinstance(offset, str):
+        from ..frontend.parser import parse_expr_fragment
+
+        offset = parse_expr_fragment(offset, proc._root)
+
+    sym = node.name
+    env = proc_fact_env(proc, cur._path)
+
+    def idx_fn(idx: List[N.Expr]) -> List[N.Expr]:
+        e = N.BinOp("-", idx[dim], copy_node(offset), index_t)
+        if fold:
+            e = N.BinOp("%", e, copy_node(size), index_t)
+        idx[dim] = simplify_expr(e, env)
+        return idx
+
+    new_root = _rewrite_proc_accesses(proc, sym, idx_fn)
+    for n, _ in walk(new_root):
+        if isinstance(n, N.Alloc) and n.name is sym:
+            shape = list(n.typ.shape)
+            shape[dim] = copy_node(size)
+            n.typ = TensorType(n.typ.base, shape, n.typ.is_window)
+    return proc._derive(new_root, identity_forward)
+
+
+@scheduling_primitive
+def expand_dim(proc, alloc, size, index_expr, *, unsafe_disable_check: bool = False):
+    """Add a new leading dimension of extent ``size`` to a buffer, indexing it
+    with ``index_expr`` at every access (typically an enclosing loop iterator)."""
+    cur = _alloc_cursor(proc, alloc)
+    node = cur._node()
+    sym = node.name
+    if isinstance(size, int):
+        size = _const(size)
+    elif isinstance(size, str):
+        from ..frontend.parser import parse_expr_fragment
+
+        size = parse_expr_fragment(size, proc._root)
+    if isinstance(index_expr, str):
+        from ..frontend.parser import parse_expr_fragment
+
+        index_expr = parse_expr_fragment(index_expr, proc._root)
+    elif isinstance(index_expr, ExprCursor):
+        index_expr = copy_node(index_expr._node())
+    elif isinstance(index_expr, Sym):
+        index_expr = N.Read(index_expr, [], index_t)
+    elif isinstance(index_expr, N.Expr):
+        index_expr = copy_node(index_expr)
+
+    env = proc_fact_env(proc, cur._path)
+    if not unsafe_disable_check:
+        pos = prove(N.BinOp(">", copy_node(size), _const(0), bool_t), env)
+        require(pos is not False, "expand_dim: the new dimension size must be positive")
+
+    def idx_fn(idx: List[N.Expr]) -> List[N.Expr]:
+        return [copy_node(index_expr)] + idx
+
+    new_root = _rewrite_proc_accesses(proc, sym, idx_fn)
+    for n, _ in walk(new_root):
+        if isinstance(n, N.Alloc) and n.name is sym:
+            if isinstance(n.typ, TensorType):
+                n.typ = TensorType(n.typ.base, [copy_node(size)] + list(n.typ.shape), False)
+            else:
+                n.typ = TensorType(n.typ, [copy_node(size)], False)
+    # scalar allocations: their accesses have empty idx lists, which
+    # _rewrite_accesses skips; patch them here.
+    if not isinstance(node.typ, TensorType):
+        def fix_scalar(e):
+            if isinstance(e, N.Read) and e.name is sym and not e.idx:
+                e.idx = [copy_node(index_expr)]
+            return e
+
+        def fix_scalar_stmt(s):
+            if isinstance(s, (N.Assign, N.Reduce)) and s.name is sym and not s.idx:
+                s.idx = [copy_node(index_expr)]
+            return s
+
+        from ..ir.build import map_stmts
+
+        new_root.body = map_stmts([map_exprs(s, fix_scalar) for s in new_root.body], fix_scalar_stmt)
+    return proc._derive(new_root, identity_forward)
+
+
+@scheduling_primitive
+def rearrange_dim(proc, alloc, permutation: Sequence[int]):
+    """Permute the dimensions of a buffer (``permutation[i]`` gives the old
+    dimension stored at new position ``i``)."""
+    cur = _alloc_cursor(proc, alloc)
+    node = cur._node()
+    require(isinstance(node.typ, TensorType), "rearrange_dim: expected a tensor allocation")
+    ndim = len(node.typ.shape)
+    require(sorted(permutation) == list(range(ndim)), "rearrange_dim: invalid permutation")
+    sym = node.name
+
+    def idx_fn(idx: List[N.Expr]) -> List[N.Expr]:
+        require(len(idx) == ndim, "rearrange_dim: access rank mismatch")
+        return [idx[p] for p in permutation]
+
+    new_root = _rewrite_proc_accesses(proc, sym, idx_fn)
+    for n, _ in walk(new_root):
+        if isinstance(n, N.Alloc) and n.name is sym:
+            shape = list(n.typ.shape)
+            n.typ = TensorType(n.typ.base, [shape[p] for p in permutation], n.typ.is_window)
+    return proc._derive(new_root, identity_forward)
+
+
+@scheduling_primitive
+def divide_dim(proc, alloc, dim: int, quotient: int):
+    """Split dimension ``dim`` of a buffer into ``[dim/quotient, quotient]``."""
+    cur = _alloc_cursor(proc, alloc)
+    node = cur._node()
+    require(isinstance(node.typ, TensorType), "divide_dim: expected a tensor allocation")
+    require(0 <= dim < len(node.typ.shape), "divide_dim: dimension out of range")
+    c = quotient
+    env = proc_fact_env(proc, cur._path)
+    dsz = node.typ.shape[dim]
+    dsz_c = const_value(dsz)
+    ok = (dsz_c is not None and dsz_c % c == 0) or prove_divisible(dsz, c, env)
+    require(ok, "divide_dim: the dimension size must be divisible by the quotient")
+    sym = node.name
+
+    def idx_fn(idx: List[N.Expr]) -> List[N.Expr]:
+        i = idx[dim]
+        outer = simplify_expr(N.BinOp("/", copy_node(i), _const(c), index_t), env)
+        inner = simplify_expr(N.BinOp("%", copy_node(i), _const(c), index_t), env)
+        return idx[:dim] + [outer, inner] + idx[dim + 1 :]
+
+    new_root = _rewrite_proc_accesses(proc, sym, idx_fn)
+    for n, _ in walk(new_root):
+        if isinstance(n, N.Alloc) and n.name is sym:
+            shape = list(n.typ.shape)
+            outer_sz = simplify_expr(N.BinOp("/", copy_node(shape[dim]), _const(c), index_t), env)
+            shape[dim : dim + 1] = [outer_sz, _const(c)]
+            n.typ = TensorType(n.typ.base, shape, n.typ.is_window)
+    return proc._derive(new_root, identity_forward)
+
+
+@scheduling_primitive
+def mult_dim(proc, alloc, dim: int, dim2: int):
+    """Fuse two dimensions of a buffer into one (``a[i, _, j] -> a[c*i + j, _]``
+    where ``c`` is the constant extent of ``dim2``)."""
+    cur = _alloc_cursor(proc, alloc)
+    node = cur._node()
+    require(isinstance(node.typ, TensorType), "mult_dim: expected a tensor allocation")
+    shape = node.typ.shape
+    require(dim != dim2, "mult_dim: the two dimensions must differ")
+    c = const_value(shape[dim2])
+    require(c is not None, "mult_dim: the absorbed dimension must have constant extent")
+    sym = node.name
+    env = proc_fact_env(proc, cur._path)
+
+    def idx_fn(idx: List[N.Expr]) -> List[N.Expr]:
+        fused = simplify_expr(
+            N.BinOp("+", N.BinOp("*", _const(c), copy_node(idx[dim]), index_t), copy_node(idx[dim2]), index_t),
+            env,
+        )
+        out = list(idx)
+        out[dim] = fused
+        del out[dim2]
+        return out
+
+    new_root = _rewrite_proc_accesses(proc, sym, idx_fn)
+    for n, _ in walk(new_root):
+        if isinstance(n, N.Alloc) and n.name is sym:
+            shp = list(n.typ.shape)
+            new_sz = simplify_expr(N.BinOp("*", _const(c), copy_node(shp[dim]), index_t), env)
+            shp[dim] = new_sz
+            del shp[dim2]
+            n.typ = TensorType(n.typ.base, shp, n.typ.is_window)
+    return proc._derive(new_root, identity_forward)
+
+
+@scheduling_primitive
+def unroll_buffer(proc, alloc, dim: int = 0):
+    """Replace a buffer whose ``dim`` has constant extent (and is always
+    accessed with constant indices) by one scalar buffer per index."""
+    cur = _alloc_cursor(proc, alloc)
+    node = cur._node()
+    require(isinstance(node.typ, TensorType), "unroll_buffer: expected a tensor allocation")
+    c = const_value(node.typ.shape[dim])
+    require(c is not None, "unroll_buffer: the unrolled dimension must have constant extent")
+    sym = node.name
+
+    # check all accesses have constant indices along dim
+    for n, _ in walk(proc._root):
+        if isinstance(n, (N.Read, N.Assign, N.Reduce)) and getattr(n, "name", None) is sym and n.idx:
+            require(
+                const_value(n.idx[dim]) is not None,
+                "unroll_buffer: accesses must use constant indices along the unrolled dimension",
+            )
+        if isinstance(n, N.WindowExpr) and n.name is sym:
+            raise SchedulingError("unroll_buffer: the buffer cannot be windowed")
+
+    new_syms = [Sym(f"{sym.name}_{k}") for k in range(c)]
+    remaining_shape = [s for i, s in enumerate(node.typ.shape) if i != dim]
+    new_typ = (
+        TensorType(node.typ.base, remaining_shape, False) if remaining_shape else node.typ.base
+    )
+    new_allocs = [N.Alloc(s, copy_node(new_typ) if isinstance(new_typ, TensorType) else new_typ, node.mem) for s in new_syms]
+
+    from ..core.procedure import copy_node_proc
+
+    new_root = copy_node_proc(proc._root)
+
+    def fix_expr(e):
+        if isinstance(e, N.Read) and e.name is sym and e.idx:
+            k = const_value(e.idx[dim])
+            e.name = new_syms[k]
+            e.idx = [x for i, x in enumerate(e.idx) if i != dim]
+        return e
+
+    def fix_stmt(s):
+        if isinstance(s, (N.Assign, N.Reduce)) and s.name is sym and s.idx:
+            k = const_value(s.idx[dim])
+            s.name = new_syms[k]
+            s.idx = [x for i, x in enumerate(s.idx) if i != dim]
+        return s
+
+    from ..ir.build import map_stmts
+
+    new_root.body = map_stmts([map_exprs(s, fix_expr) for s in new_root.body], fix_stmt)
+    owner, attr, idx = stmt_coords(cur)
+    new_root = replace_stmts(new_root, owner, attr, idx, 1, new_allocs)
+    trace = EditTrace()
+    trace.rewrite(owner, attr, idx, 1, c)
+    return proc._derive(new_root, trace.forward_fn())
+
+
+# ---------------------------------------------------------------------------
+# bind_expr and stage_mem
+# ---------------------------------------------------------------------------
+
+
+@scheduling_primitive
+def bind_expr(proc, exprs, new_name: str, *, cse: bool = False):
+    """Bind an expression (or several structurally identical occurrences) to a
+    new scalar temporary allocated and assigned just before the statement
+    containing the first occurrence."""
+    if not isinstance(exprs, (list, tuple)):
+        exprs = [exprs]
+    curs = [to_expr_cursor(proc, e) for e in exprs]
+    nodes = [c._node() for c in curs]
+    first = nodes[0]
+    for n in nodes[1:]:
+        require(structurally_equal(n, first), "bind_expr: occurrences are not identical expressions")
+    typ = getattr(first, "typ", None)
+    base = typ.basetype() if isinstance(typ, TensorType) else typ
+    if base is None or not getattr(base, "is_numeric", False):
+        from ..ir.types import f32
+
+        base = f32
+
+    stmt = curs[0].parent()
+    owner, attr, idx = stmt_coords(stmt)
+    sym = Sym(new_name)
+    alloc = N.Alloc(sym, base, DRAM)
+    assign = N.Assign(sym, [], copy_node(first), base)
+
+    target_ids = {id(n) for n in nodes}
+
+    def repl(e):
+        if id(e) in target_ids or (cse and structurally_equal(e, first)):
+            return N.Read(sym, [], base)
+        return e
+
+    owner_node = get_node(proc._root, owner)
+    siblings = getattr(owner_node, attr)
+    if cse:
+        rewritten = [map_exprs(copy_node(s), repl) for s in siblings[idx:]]
+        n_old = len(siblings) - idx
+    else:
+        # map_exprs copies nodes, so identity-based replacement only works on
+        # the original statement objects; rewrite just the containing stmt.
+        def repl_struct(e):
+            if structurally_equal(e, first):
+                return N.Read(sym, [], base)
+            return e
+
+        rewritten = [map_exprs(copy_node(siblings[idx]), repl_struct)]
+        n_old = 1
+    new_stmts = [alloc, assign] + rewritten
+    new_root = replace_stmts(proc._root, owner, attr, idx, n_old, new_stmts)
+    trace = EditTrace()
+    trace.rewrite(owner, attr, idx, n_old, len(new_stmts), lambda off, rest: (off + 2, rest))
+    return proc._derive(new_root, trace.forward_fn())
+
+
+def _parse_window(proc, window) -> N.WindowExpr:
+    if isinstance(window, N.WindowExpr):
+        return window
+    if isinstance(window, str):
+        from ..frontend.parser import parse_expr_fragment
+
+        e = parse_expr_fragment(window, proc._root)
+        if isinstance(e, N.Read):
+            # point accesses (or a bare scalar name): a degenerate window
+            e = N.WindowExpr(e.name, [N.Point(i) for i in e.idx], e.typ)
+        require(isinstance(e, N.WindowExpr), "stage_mem: expected a window expression like 'A[0:n, j]'")
+        return e
+    raise SchedulingError("stage_mem: the window must be a string or window expression")
+
+
+@scheduling_primitive
+def stage_mem(proc, block, window, new_name: str, *, accum: bool = False, init_zero: bool = False):
+    """Stage a window of a buffer through a new temporary around ``block``.
+
+    The temporary is loaded from the buffer before the block (unless
+    ``init_zero``), accesses inside the block are redirected to it, and it is
+    written back after the block (when the block writes the buffer, or always
+    when ``accum``)."""
+    block = to_block_cursor(proc, block)
+    w = _parse_window(proc, window)
+    buf = w.name
+    env = proc_fact_env(proc, block._owner_path)
+
+    # window geometry
+    dims = []  # (lo_expr, size_expr) for interval dims; (pt, None) for points
+    for d in w.idx:
+        if isinstance(d, N.Interval):
+            size = simplify_expr(N.BinOp("-", copy_node(d.hi), copy_node(d.lo), index_t), env)
+            dims.append((d.lo, size))
+        else:
+            dims.append((d.pt, None))
+    tensor_dims = [(lo, sz) for lo, sz in dims if sz is not None]
+
+    # find the element type of the staged buffer
+    base = None
+    for a in proc._root.args:
+        if a.name is buf:
+            base = a.typ.base if isinstance(a.typ, TensorType) else a.typ
+    if base is None:
+        for n, _ in walk(proc._root):
+            if isinstance(n, N.Alloc) and n.name is buf:
+                base = n.typ.base if isinstance(n.typ, TensorType) else n.typ
+    require(base is not None, f"stage_mem: could not find buffer {buf.name!r}")
+
+    stmts = block._stmts()
+    reads = any(a.buf is buf and a.kind in ("read", "reduce") for a in accesses_of(stmts))
+    writes = any(a.buf is buf and a.is_write() for a in accesses_of(stmts))
+
+    sym = Sym(new_name)
+    new_typ = TensorType(base, [copy_node(sz) for _, sz in tensor_dims], False) if tensor_dims else base
+    alloc = N.Alloc(sym, new_typ, DRAM)
+
+    # loops to copy between buf and the staging buffer
+    def copy_loops(store: bool) -> N.Stmt:
+        iters = [Sym(f"i{k}") for k in range(len(tensor_dims))]
+        src_idx = []
+        tmp_idx = [N.Read(it, [], index_t) for it in iters]
+        k = 0
+        for lo, sz in dims:
+            if sz is None:
+                src_idx.append(copy_node(lo))
+            else:
+                src_idx.append(N.BinOp("+", copy_node(lo), N.Read(iters[k], [], index_t), index_t))
+                k += 1
+        if store:
+            if accum:
+                inner: N.Stmt = N.Reduce(buf, src_idx, N.Read(sym, tmp_idx, base), base)
+            else:
+                inner = N.Assign(buf, src_idx, N.Read(sym, tmp_idx, base), base)
+        elif init_zero or accum:
+            inner = N.Assign(sym, tmp_idx, N.Const(0.0, base), base)
+        else:
+            inner = N.Assign(sym, tmp_idx, N.Read(buf, src_idx, base), base)
+        for it, (_, sz) in zip(reversed(iters), reversed(tensor_dims)):
+            inner = N.For(it, _const(0), copy_node(sz), [inner], "seq")
+        return inner
+
+    # rewrite accesses inside the block: buf[e0, e1, ...] -> tmp[e_k - lo_k]
+    def idx_fn(idx: List[N.Expr]) -> List[N.Expr]:
+        out = []
+        for e, (lo, sz) in zip(idx, dims):
+            if sz is None:
+                continue
+            out.append(simplify_expr(N.BinOp("-", e, copy_node(lo), index_t), env))
+        return out
+
+    def redirect_expr(e: N.Expr) -> N.Expr:
+        if isinstance(e, N.WindowExpr) and e.name is buf:
+            raise SchedulingError("stage_mem: the staged buffer is windowed inside the block")
+        if isinstance(e, N.Read) and e.name is buf:
+            return N.Read(sym, idx_fn(list(e.idx)), e.typ)
+        return e
+
+    def redirect_stmt(s: N.Stmt) -> N.Stmt:
+        if isinstance(s, (N.Assign, N.Reduce)) and s.name is buf:
+            s.name = sym
+            s.idx = idx_fn(list(s.idx))
+        return s
+
+    from ..ir.build import map_stmts as _map_stmts
+
+    new_block = copy_stmts(stmts)
+    new_block = _map_stmts([map_exprs(s, redirect_expr) for s in new_block], redirect_stmt)
+
+    new_stmts: List[N.Stmt] = [alloc]
+    lead = 1
+    if reads or accum or init_zero or not writes:
+        load_stmt = copy_loops(store=False)
+        new_stmts.append(load_stmt)
+        lead += 1
+    if accum:
+        # accumulate mode: redirected writes inside the block must be reductions
+        # into the zero-initialised staging buffer; reads of the old value are
+        # not allowed (they would observe 0 instead of the original data)
+        require(
+            not any(a.buf is buf and a.kind == "read" for a in accesses_of(stmts)),
+            "stage_mem: accum staging requires the block to only reduce into the buffer",
+        )
+    new_stmts.extend(new_block)
+    if writes or accum:
+        new_stmts.append(copy_loops(store=True))
+
+    owner, attr, lo_i, hi_i = block_coords(block)
+    n_old = hi_i - lo_i
+    new_root = replace_stmts(proc._root, owner, attr, lo_i, n_old, new_stmts)
+    trace = EditTrace()
+    trace.rewrite(owner, attr, lo_i, n_old, len(new_stmts), lambda off, rest: (off + lead, rest))
+    return proc._derive(new_root, trace.forward_fn())
+
+
+@scheduling_primitive
+def stage_reduction(proc, loop, reduce_stmt, new_name: str, lanes: int):
+    """Stage a scalar ``+=`` reduction carried by ``loop`` into ``lanes``
+    partial sums (the classic trick that exposes SIMD parallelism in
+    reductions such as ``dot`` and ``asum``; Section 6.2.1).
+
+    ``for i: ... acc += e ...`` becomes::
+
+        accv: T[lanes]
+        for l: accv[l] = 0.0
+        for i: ... accv[i % lanes] += e ...
+        for l: acc += accv[l]
+
+    Safety: the reduction target's indices must not depend on the loop
+    iterator, the target must not be accessed elsewhere in the loop, and the
+    rewrite relies on associativity/commutativity of ``+`` (the same licence
+    every BLAS-style reduction schedule takes).
+    """
+    require(lanes > 0, "stage_reduction: lanes must be positive")
+    loop = to_loop_cursor(proc, loop)
+    red = to_stmt_cursor(proc, reduce_stmt)
+    red_node = red._node()
+    require(isinstance(red_node, N.Reduce), "stage_reduction: expected a reduction statement")
+    loop_node = loop._node()
+    # the reduction must be inside the loop
+    require(
+        tuple(red._path[: len(loop._path)]) == tuple(loop._path),
+        "stage_reduction: the reduction is not inside the given loop",
+    )
+    it = loop_node.iter
+    from ..ir.build import used_syms_expr
+
+    for i_e in red_node.idx:
+        require(
+            it not in used_syms_expr(i_e),
+            "stage_reduction: the reduction target is indexed by the loop iterator",
+        )
+    acc = red_node.name
+    # the accumulator must not be accessed elsewhere in the loop body
+    count = 0
+    for a in accesses_of(loop_node.body):
+        if a.buf is acc:
+            count += 1
+    require(count == 1, "stage_reduction: the accumulator is accessed more than once in the loop")
+
+    base = red_node.typ if isinstance(red_node.typ, ScalarType) else None
+    if base is None or not getattr(base, "is_numeric", False):
+        from ..ir.types import f32
+
+        base = f32
+
+    sym = Sym(new_name)
+    env = proc_fact_env(proc, loop._path)
+
+    # init / final loops
+    l1, l2 = Sym("l"), Sym("l")
+    init_loop = N.For(
+        l1, _const(0), _const(lanes), [N.Assign(sym, [N.Read(l1, [], index_t)], N.Const(0.0, base), base)], "seq"
+    )
+    final_loop = N.For(
+        l2,
+        _const(0),
+        _const(lanes),
+        [N.Reduce(acc, [copy_node(i) for i in red_node.idx], N.Read(sym, [N.Read(l2, [], index_t)], base), base)],
+        "seq",
+    )
+
+    lane_idx = N.BinOp("%", N.Read(it, [], index_t), _const(lanes), index_t)
+    new_red = N.Reduce(sym, [lane_idx], copy_node(red_node.rhs), base)
+
+    # rebuild the loop with the reduction redirected to the staging buffer
+    rel_path = red._path[len(loop._path):]
+    new_loop_node = copy_node(loop_node)
+    from ..ir.build import set_node as _set_node
+
+    new_loop_node = _set_node(new_loop_node, rel_path, new_red)
+
+    alloc = N.Alloc(sym, TensorType(base, [_const(lanes)], False), DRAM)
+    new_stmts = [alloc, init_loop, new_loop_node, final_loop]
+
+    owner, attr, idx = stmt_coords(loop)
+    new_root = replace_stmts(proc._root, owner, attr, idx, 1, new_stmts)
+    trace = EditTrace()
+    trace.rewrite(owner, attr, idx, 1, 4, lambda off, rest: (2, rest))
+    return proc._derive(new_root, trace.forward_fn())

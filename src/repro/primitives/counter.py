@@ -1,0 +1,59 @@
+"""Primitive-rewrite counting.
+
+Figure 9b of the paper reports the number of primitive rewrites required to
+optimise each kernel — a proxy for what a user of plain Exo would have had to
+write by hand.  Every scheduling primitive reports itself here; the counter
+can be scoped with :class:`count_rewrites` to attribute rewrites to a specific
+kernel's scheduling run.
+"""
+
+from __future__ import annotations
+
+from contextlib import ContextDecorator
+from typing import Dict, List, Optional
+
+__all__ = ["record_rewrite", "count_rewrites", "global_rewrite_count", "reset_global_count"]
+
+
+_global_count = 0
+_per_primitive: Dict[str, int] = {}
+_active_scopes: List["count_rewrites"] = []
+
+
+def record_rewrite(primitive_name: str) -> None:
+    """Record one application of a scheduling primitive."""
+    global _global_count
+    _global_count += 1
+    _per_primitive[primitive_name] = _per_primitive.get(primitive_name, 0) + 1
+    for scope in _active_scopes:
+        scope.total += 1
+        scope.by_primitive[primitive_name] = scope.by_primitive.get(primitive_name, 0) + 1
+
+
+def global_rewrite_count() -> int:
+    return _global_count
+
+
+def reset_global_count() -> None:
+    global _global_count
+    _global_count = 0
+    _per_primitive.clear()
+
+
+class count_rewrites(ContextDecorator):
+    """Context manager counting primitive rewrites performed inside it."""
+
+    def __init__(self, label: Optional[str] = None):
+        self.label = label
+        self.total = 0
+        self.by_primitive: Dict[str, int] = {}
+
+    def __enter__(self) -> "count_rewrites":
+        self.total = 0
+        self.by_primitive = {}
+        _active_scopes.append(self)
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        _active_scopes.remove(self)
+        return False

@@ -1,0 +1,324 @@
+"""Multi-procedure primitives (Appendix A.4) and small structural helpers:
+``rename``, ``inline``, ``call_eqv``, ``extract_subproc``, ``add_assertion``,
+``insert_pass``, ``delete_pass``.  (``replace`` lives in
+:mod:`repro.primitives.unify`.)"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..cursors.cursor import CallCursor
+from ..cursors.forwarding import EditTrace, identity_forward
+from ..errors import SchedulingError
+from ..ir import nodes as N
+from ..ir.build import (
+    alpha_rename_stmts,
+    collect_syms_read,
+    collect_syms_written,
+    copy_node,
+    copy_stmts,
+    get_node,
+    map_exprs,
+    map_stmts,
+    replace_stmts,
+    walk,
+)
+from ..ir.syms import Sym
+from ..ir.types import ScalarType, TensorType, index_t
+from ._base import (
+    block_coords,
+    require,
+    scheduling_primitive,
+    stmt_coords,
+    to_block_cursor,
+    to_gap_cursor,
+    to_stmt_cursor,
+)
+
+__all__ = [
+    "rename",
+    "inline",
+    "call_eqv",
+    "extract_subproc",
+    "add_assertion",
+    "insert_pass",
+    "delete_pass",
+]
+
+
+@scheduling_primitive
+def rename(proc, new_name: str):
+    """Rename a procedure."""
+    from ..core.procedure import copy_node_proc
+
+    new_root = copy_node_proc(proc._root)
+    new_root.name = new_name
+    return proc._derive(new_root, identity_forward)
+
+
+@scheduling_primitive
+def add_assertion(proc, cond):
+    """Add an assertion about the procedure's arguments (a string in the
+    object syntax, e.g. ``"N % 8 == 0"``)."""
+    return proc.add_assertion(cond) if isinstance(cond, str) else proc.add_assertion(str(cond))
+
+
+@scheduling_primitive
+def insert_pass(proc, gap):
+    """Insert a ``pass`` statement at a gap."""
+    gap = to_gap_cursor(proc, gap)
+    owner, attr, idx = gap._owner_path, gap._attr, gap._idx
+    new_root = replace_stmts(proc._root, owner, attr, idx, 0, [N.Pass()])
+    trace = EditTrace()
+    trace.insert(owner, attr, idx, 1)
+    return proc._derive(new_root, trace.forward_fn())
+
+
+@scheduling_primitive
+def delete_pass(proc):
+    """Delete every ``pass`` statement that is not the sole statement of its block."""
+    p = proc
+    while True:
+        target = None
+        for owner, attr, stmts in _stmt_lists(p._root):
+            if len(stmts) <= 1:
+                continue
+            for i, s in enumerate(stmts):
+                if isinstance(s, N.Pass):
+                    target = (owner, attr, i)
+                    break
+            if target:
+                break
+        if target is None:
+            return p
+        owner, attr, i = target
+        new_root = replace_stmts(p._root, owner, attr, i, 1, [])
+        trace = EditTrace()
+        trace.delete(owner, attr, i, 1)
+        p = p._derive(new_root, trace.forward_fn())
+
+
+def _stmt_lists(root):
+    from ..ir.build import stmt_list_field_paths
+
+    yield from stmt_list_field_paths(root)
+
+
+# ---------------------------------------------------------------------------
+# inline
+# ---------------------------------------------------------------------------
+
+
+def _window_dims(w: N.WindowExpr) -> List[Tuple[str, N.Expr, Optional[N.Expr]]]:
+    out = []
+    for d in w.idx:
+        if isinstance(d, N.Interval):
+            out.append(("interval", d.lo, d.hi))
+        else:
+            out.append(("point", d.pt, None))
+    return out
+
+
+def _compose_index(window_dims, inner_idx: List[N.Expr]) -> List[N.Expr]:
+    """Compose a caller window with an index list used inside the callee."""
+    out: List[N.Expr] = []
+    k = 0
+    for kind, lo, _hi in window_dims:
+        if kind == "point":
+            out.append(copy_node(lo))
+        else:
+            out.append(N.BinOp("+", copy_node(lo), copy_node(inner_idx[k]), index_t))
+            k += 1
+    return out
+
+
+@scheduling_primitive
+def inline(proc, call):
+    """Inline a call site, substituting the callee's body."""
+    c = to_stmt_cursor(proc, call, kinds=CallCursor)
+    call_node = c._node()
+    callee = call_node.proc
+    cdef = callee._root
+
+    body = alpha_rename_stmts(cdef.body)
+
+    scalar_env: Dict[Sym, N.Expr] = {}
+    buffer_env: Dict[Sym, Tuple[Sym, Optional[list]]] = {}
+    for fn_arg, actual in zip(cdef.args, call_node.args):
+        if isinstance(fn_arg.typ, TensorType):
+            if isinstance(actual, N.WindowExpr):
+                buffer_env[fn_arg.name] = (actual.name, _window_dims(actual))
+            elif isinstance(actual, N.Read) and not actual.idx:
+                buffer_env[fn_arg.name] = (actual.name, None)
+            else:
+                raise SchedulingError("inline: unsupported tensor argument at the call site")
+        else:
+            scalar_env[fn_arg.name] = actual
+
+    def fix_expr(e: N.Expr) -> N.Expr:
+        if isinstance(e, N.Read) and not e.idx and e.name in scalar_env:
+            return copy_node(scalar_env[e.name])
+        if isinstance(e, (N.Read, N.WindowExpr, N.StrideExpr)) and e.name in buffer_env:
+            buf, wdims = buffer_env[e.name]
+            if isinstance(e, N.Read):
+                idx = _compose_index(wdims, list(e.idx)) if wdims is not None else list(e.idx)
+                return N.Read(buf, idx, e.typ)
+            if isinstance(e, N.StrideExpr):
+                return N.StrideExpr(buf, e.dim, e.typ)
+            # WindowExpr over a windowed argument: compose the two windows
+            new_idx: List[object] = []
+            if wdims is None:
+                return N.WindowExpr(buf, e.idx, e.typ)
+            k = 0
+            for kind, lo, _hi in wdims:
+                if kind == "point":
+                    new_idx.append(N.Point(copy_node(lo)))
+                else:
+                    d = e.idx[k]
+                    k += 1
+                    if isinstance(d, N.Interval):
+                        new_idx.append(
+                            N.Interval(
+                                N.BinOp("+", copy_node(lo), copy_node(d.lo), index_t),
+                                N.BinOp("+", copy_node(lo), copy_node(d.hi), index_t),
+                            )
+                        )
+                    else:
+                        new_idx.append(N.Point(N.BinOp("+", copy_node(lo), copy_node(d.pt), index_t)))
+            return N.WindowExpr(buf, new_idx, e.typ)
+        return e
+
+    def fix_stmt(s: N.Stmt):
+        if isinstance(s, (N.Assign, N.Reduce)) and s.name in buffer_env:
+            buf, wdims = buffer_env[s.name]
+            s.name = buf
+            if wdims is not None:
+                s.idx = _compose_index(wdims, list(s.idx))
+        if isinstance(s, (N.Assign, N.Reduce)) and s.name in scalar_env:
+            target = scalar_env[s.name]
+            if isinstance(target, N.Read):
+                s.name = target.name
+                s.idx = [copy_node(i) for i in target.idx]
+            else:
+                raise SchedulingError("inline: callee writes a scalar argument bound to an expression")
+        return s
+
+    body = [map_exprs(s, fix_expr) for s in body]
+    body = map_stmts(body, fix_stmt)
+
+    owner, attr, idx = stmt_coords(c)
+    new_root = replace_stmts(proc._root, owner, attr, idx, 1, body)
+    trace = EditTrace()
+    trace.rewrite(owner, attr, idx, 1, len(body))
+    return proc._derive(new_root, trace.forward_fn())
+
+
+# ---------------------------------------------------------------------------
+# call_eqv
+# ---------------------------------------------------------------------------
+
+
+def _lineage_root(procedure):
+    return procedure._lineage()[-1]
+
+
+@scheduling_primitive
+def call_eqv(proc, orig, new_proc, *, unsafe_disable_check: bool = False):
+    """Replace a call to ``orig`` with a call to the equivalent procedure
+    ``new_proc`` (both must be scheduled from the same original procedure)."""
+    if not unsafe_disable_check:
+        ok = _lineage_root(orig) is _lineage_root(new_proc) or orig is _lineage_root(new_proc)
+        require(
+            ok,
+            "call_eqv: the two procedures do not share a scheduling lineage "
+            "(pass unsafe_disable_check=True to override)",
+        )
+    require(
+        len(orig._root.args) == len(new_proc._root.args),
+        "call_eqv: the replacement procedure has a different signature",
+    )
+    # find the first call to `orig`
+    target = None
+    for node, path in walk(proc._root):
+        if isinstance(node, N.Call) and node.proc is orig:
+            target = path
+            break
+    if target is None:
+        raise SchedulingError(f"call_eqv: no call to {orig.name()!r} found")
+    call_node = get_node(proc._root, target)
+    new_call = N.Call(new_proc, [copy_node(a) for a in call_node.args])
+    owner, (attr, idx) = target[:-1], target[-1]
+    new_root = replace_stmts(proc._root, owner, attr, idx, 1, [new_call])
+    trace = EditTrace()
+    trace.rewrite(owner, attr, idx, 1, 1)
+    return proc._derive(new_root, trace.forward_fn())
+
+
+# ---------------------------------------------------------------------------
+# extract_subproc
+# ---------------------------------------------------------------------------
+
+
+@scheduling_primitive
+def extract_subproc(proc, block, name: str):
+    """Extract a statement block into a new procedure and replace it with a
+    call.  Returns ``(new_proc, subproc)``."""
+    from ..core.procedure import Procedure
+
+    block = to_block_cursor(proc, block)
+    stmts = block._stmts()
+
+    # free symbols of the block
+    local = {a.name for a in _local_allocs(stmts)}
+    bound_iters = _bound_iters(stmts)
+    free = (collect_syms_read(list(stmts)) | collect_syms_written(list(stmts))) - local - bound_iters
+
+    # argument metadata from the enclosing procedure
+    types: Dict[Sym, Tuple[object, object]] = {}
+    for a in proc._root.args:
+        types[a.name] = (a.typ, a.mem)
+    for n, _ in walk(proc._root):
+        if isinstance(n, N.Alloc):
+            types[n.name] = (n.typ, n.mem)
+        if isinstance(n, N.For):
+            types[n.iter] = (index_t, None)
+
+    args: List[N.FnArg] = []
+    ordered = [s for s in types if s in free] + [s for s in free if s not in types]
+    for s in ordered:
+        typ, mem = types.get(s, (index_t, None))
+        if isinstance(typ, TensorType):
+            typ = typ.as_window() if not typ.is_window else typ
+        args.append(N.FnArg(s, typ, mem))
+
+    sub_def = N.ProcDef(name, args, [], copy_stmts(stmts), None)
+    subproc = Procedure(sub_def)
+
+    call_args: List[N.Expr] = []
+    for a in args:
+        if isinstance(a.typ, TensorType):
+            call_args.append(N.Read(a.name, [], a.typ))
+        else:
+            call_args.append(N.Read(a.name, [], a.typ))
+    call = N.Call(subproc, call_args)
+
+    owner, attr, lo, hi = block_coords(block)
+    new_root = replace_stmts(proc._root, owner, attr, lo, hi - lo, [call])
+    trace = EditTrace()
+    trace.rewrite(owner, attr, lo, hi - lo, 1, lambda off, rest: (0, ()))
+    return proc._derive(new_root, trace.forward_fn()), subproc
+
+
+def _local_allocs(stmts):
+    from ..ir.build import collect_allocs
+
+    return collect_allocs(list(stmts))
+
+
+def _bound_iters(stmts):
+    out = set()
+    for s in stmts:
+        for n, _ in walk(s):
+            if isinstance(n, N.For):
+                out.add(n.iter)
+    return out

@@ -1,0 +1,233 @@
+"""Scope-transformation primitives (Appendix A.3): ``specialize``, ``fuse``,
+``lift_scope``."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..analysis.effects import loop_iterations_commute, stmts_commute
+from ..analysis.linear import exprs_equal
+from ..cursors.cursor import BlockCursor, ForCursor, IfCursor
+from ..cursors.forwarding import EditTrace
+from ..errors import SchedulingError
+from ..ir import nodes as N
+from ..ir.build import (
+    alpha_rename_stmts,
+    copy_node,
+    copy_stmts,
+    replace_stmts,
+    structurally_equal,
+    substitute_reads,
+    used_syms_expr,
+)
+from ..ir.types import bool_t
+from ._base import (
+    block_coords,
+    proc_fact_env,
+    require,
+    scheduling_primitive,
+    stmt_coords,
+    to_block_cursor,
+    to_stmt_cursor,
+)
+
+__all__ = ["specialize", "fuse", "lift_scope"]
+
+
+@scheduling_primitive
+def specialize(proc, block, conds):
+    """Duplicate a statement block under an ``if/else`` chain over ``conds``.
+
+    Each condition gets its own copy of the block (enabling further
+    constant-specific optimisation of each copy); the final ``else`` keeps the
+    original."""
+    if isinstance(conds, (str, N.Expr)):
+        conds = [conds]
+    require(len(conds) >= 1, "specialize: need at least one condition")
+    block = to_block_cursor(proc, block)
+    stmts = block._stmts()
+
+    from ..frontend.parser import parse_expr_fragment
+
+    cond_exprs: List[N.Expr] = []
+    for c in conds:
+        if isinstance(c, str):
+            cond_exprs.append(parse_expr_fragment(c, proc._root))
+        elif isinstance(c, N.Expr):
+            cond_exprs.append(c)
+        else:
+            raise SchedulingError("specialize: conditions must be strings or expressions")
+
+    def build(i: int) -> List[N.Stmt]:
+        if i == len(cond_exprs):
+            return alpha_rename_stmts(stmts)
+        return [N.If(copy_node(cond_exprs[i]), alpha_rename_stmts(stmts), build(i + 1))]
+
+    new_stmts = build(0)
+    owner, attr, lo, hi = block_coords(block)
+    n_old = hi - lo
+    new_root = replace_stmts(proc._root, owner, attr, lo, n_old, new_stmts)
+    trace = EditTrace()
+
+    def inner_map(offset, rest):
+        # map into the first specialised copy
+        return (0, (("body", offset),) + rest)
+
+    trace.rewrite(owner, attr, lo, n_old, len(new_stmts), inner_map)
+    return proc._derive(new_root, trace.forward_fn())
+
+
+@scheduling_primitive
+def fuse(proc, scope1, scope2, *, unsafe_disable_check: bool = False):
+    """Fuse two adjacent loops with equal bounds (or two adjacent ifs with
+    equal conditions) into one."""
+    c1 = to_stmt_cursor(proc, scope1)
+    c2 = to_stmt_cursor(proc, scope2)
+    owner1, attr1, idx1 = stmt_coords(c1)
+    owner2, attr2, idx2 = stmt_coords(c2)
+    require(
+        (owner1, attr1) == (owner2, attr2) and idx2 == idx1 + 1,
+        "fuse: the two scopes must be adjacent statements",
+    )
+    n1, n2 = c1._node(), c2._node()
+    env = proc_fact_env(proc, c1._path)
+
+    if isinstance(n1, N.For) and isinstance(n2, N.For):
+        require(
+            exprs_equal(n1.hi, n2.hi, env) and exprs_equal(n1.lo, n2.lo, env),
+            "fuse: the loops must have identical bounds",
+        )
+        body2 = [substitute_reads(s, {n2.iter: N.Read(n1.iter, [], None)}) for s in alpha_rename_stmts(n2.body)]
+        fused = N.For(n1.iter, copy_node(n1.lo), copy_node(n1.hi), copy_stmts(n1.body) + body2, n1.pragma)
+        if not unsafe_disable_check:
+            require(
+                loop_iterations_commute(fused, env),
+                "fuse: iterations of the first loop do not commute with iterations of the second",
+            )
+        n1_len = len(n1.body)
+
+        def inner_map(offset, rest):
+            if offset == 0:
+                return (0, rest)
+            if rest and rest[0][0] == "body":
+                return (0, (("body", rest[0][1] + n1_len),) + rest[1:])
+            return (0, rest)
+
+    elif isinstance(n1, N.If) and isinstance(n2, N.If):
+        require(
+            exprs_equal(n1.cond, n2.cond, env) or structurally_equal(n1.cond, n2.cond),
+            "fuse: the if conditions must be identical",
+        )
+        fused = N.If(
+            copy_node(n1.cond),
+            copy_stmts(n1.body) + alpha_rename_stmts(n2.body),
+            copy_stmts(n1.orelse) + alpha_rename_stmts(n2.orelse),
+        )
+        n1_len = len(n1.body)
+
+        def inner_map(offset, rest):
+            if offset == 0:
+                return (0, rest)
+            if rest and rest[0][0] == "body":
+                return (0, (("body", rest[0][1] + n1_len),) + rest[1:])
+            return (0, rest)
+
+    else:
+        raise SchedulingError("fuse: expected two loops or two if statements")
+
+    new_root = replace_stmts(proc._root, owner1, attr1, idx1, 2, [fused])
+    trace = EditTrace()
+    trace.rewrite(owner1, attr1, idx1, 2, 1, inner_map)
+    return proc._derive(new_root, trace.forward_fn())
+
+
+@scheduling_primitive
+def lift_scope(proc, scope, *, unsafe_disable_check: bool = False):
+    """Interchange a ``for`` or ``if`` statement with its immediately enclosing
+    ``for`` or ``if`` (the scope must be the only statement in its parent)."""
+    inner_c = to_stmt_cursor(proc, scope)
+    inner = inner_c._node()
+    require(isinstance(inner, (N.For, N.If)), "lift_scope: expected a for or if statement")
+    parent_c = inner_c.parent()
+    parent = parent_c._node()
+    require(isinstance(parent, (N.For, N.If)), "lift_scope: the parent must be a for or if statement")
+    owner_attr, owner_idx = inner_c._path[-1]
+    require(
+        len(getattr(parent, owner_attr)) == 1,
+        "lift_scope: the scope must be the only statement in its parent's body",
+    )
+    env = proc_fact_env(proc, parent_c._path)
+
+    if isinstance(parent, N.For) and isinstance(inner, N.For):
+        # plain loop interchange
+        require(
+            parent.iter not in used_syms_expr(inner.lo) and parent.iter not in used_syms_expr(inner.hi),
+            "lift_scope: inner loop bounds depend on the outer iterator",
+        )
+        if not unsafe_disable_check:
+            require(
+                loop_iterations_commute(parent, env),
+                "lift_scope: outer loop iterations may not commute",
+            )
+            require(
+                loop_iterations_commute(inner, env.with_loop(parent.iter, parent.lo, parent.hi)),
+                "lift_scope: inner loop iterations may not commute",
+            )
+        new_inner = N.For(parent.iter, copy_node(parent.lo), copy_node(parent.hi), copy_stmts(inner.body), parent.pragma)
+        new_outer: N.Stmt = N.For(inner.iter, copy_node(inner.lo), copy_node(inner.hi), [new_inner], inner.pragma)
+
+        def inner_map(offset, rest):
+            return (0, rest)
+
+    elif isinstance(parent, N.For) and isinstance(inner, N.If):
+        # for i: if e: s [else: s2]   ->   if e: for i: s [else: for i: s2]
+        require(
+            parent.iter not in used_syms_expr(inner.cond),
+            "lift_scope: the if condition depends on the loop iterator",
+        )
+        then_loop = N.For(parent.iter, copy_node(parent.lo), copy_node(parent.hi), copy_stmts(inner.body), parent.pragma)
+        orelse: List[N.Stmt] = []
+        if inner.orelse:
+            it2 = parent.iter.copy()
+            orelse_body = alpha_rename_stmts(inner.orelse)
+            from ..ir.build import rename_sym_in_stmts
+
+            orelse_body = rename_sym_in_stmts(orelse_body, parent.iter, it2)
+            orelse = [N.For(it2, copy_node(parent.lo), copy_node(parent.hi), orelse_body, parent.pragma)]
+        new_outer = N.If(copy_node(inner.cond), [then_loop], orelse)
+
+        def inner_map(offset, rest):
+            # old: for/body[0]=if/body[k] -> new: if/body[0]=for/body[k]
+            return (0, rest)
+
+    elif isinstance(parent, N.If) and isinstance(inner, N.If):
+        # if e: (if e2: s else: s2) else: s3   ->  if e2: (if e: s else: s3) else: (if e: s2 else: s3)
+        require(owner_attr == "body", "lift_scope: can only lift an if from the then-branch of an if")
+        s = copy_stmts(inner.body)
+        s2 = copy_stmts(inner.orelse)
+        s3 = copy_stmts(parent.orelse)
+        then_if = N.If(copy_node(parent.cond), s, alpha_rename_stmts(s3) if s3 else [])
+        else_if = N.If(copy_node(parent.cond), s2, alpha_rename_stmts(s3) if s3 else []) if (s2 or s3) else None
+        new_outer = N.If(copy_node(inner.cond), [then_if], [else_if] if else_if else [])
+
+        def inner_map(offset, rest):
+            return (0, rest)
+
+    elif isinstance(parent, N.If) and isinstance(inner, N.For):
+        # if e: for i: s   ->   for i: if e: s      (no else allowed)
+        require(not parent.orelse, "lift_scope: cannot lift a loop out of an if with an else branch")
+        require(owner_attr == "body", "lift_scope: the loop must be in the then-branch")
+        guard = N.If(copy_node(parent.cond), copy_stmts(inner.body), [])
+        new_outer = N.For(inner.iter, copy_node(inner.lo), copy_node(inner.hi), [guard], inner.pragma)
+
+        def inner_map(offset, rest):
+            return (0, rest)
+
+    else:  # pragma: no cover - exhaustive above
+        raise SchedulingError("lift_scope: unsupported scope combination")
+
+    owner, attr, idx = stmt_coords(parent_c)
+    new_root = replace_stmts(proc._root, owner, attr, idx, 1, [new_outer])
+    trace = EditTrace()
+    trace.rewrite(owner, attr, idx, 1, 1, inner_map)
+    return proc._derive(new_root, trace.forward_fn())

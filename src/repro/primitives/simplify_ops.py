@@ -1,0 +1,284 @@
+"""Simplification primitives (Appendix A.6): ``simplify``,
+``eliminate_dead_code``, ``rewrite_expr``, ``merge_writes``, ``inline_window``,
+``inline_assign``."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..analysis.effects import written_buffers
+from ..analysis.linear import FactEnv, const_value, exprs_equal, prove, simplify_expr
+from ..cursors.forwarding import EditTrace, identity_forward
+from ..errors import SchedulingError
+from ..ir import nodes as N
+from ..ir.build import (
+    copy_node,
+    copy_stmts,
+    get_node,
+    map_exprs,
+    replace_stmts,
+    set_node,
+    substitute_reads,
+    walk,
+)
+from ..ir.types import bool_t
+from ._base import (
+    proc_fact_env,
+    require,
+    scheduling_primitive,
+    stmt_coords,
+    to_expr_cursor,
+    to_stmt_cursor,
+)
+
+__all__ = [
+    "simplify",
+    "eliminate_dead_code",
+    "rewrite_expr",
+    "merge_writes",
+    "inline_window",
+    "inline_assign",
+    "dce",
+]
+
+
+def _simplify_stmts(stmts: List[N.Stmt], env: FactEnv) -> List[N.Stmt]:
+    out: List[N.Stmt] = []
+    for s in stmts:
+        s = copy_node(s)
+        if isinstance(s, (N.Assign, N.Reduce)):
+            s.idx = [simplify_expr(i, env) for i in s.idx]
+            s.rhs = simplify_expr(s.rhs, env)
+            out.append(s)
+        elif isinstance(s, N.For):
+            s.lo = simplify_expr(s.lo, env)
+            s.hi = simplify_expr(s.hi, env)
+            body_env = env.with_loop(s.iter, s.lo, s.hi)
+            s.body = _simplify_stmts(s.body, body_env)
+            lo_c, hi_c = const_value(s.lo), const_value(s.hi)
+            if lo_c is not None and hi_c is not None and hi_c <= lo_c:
+                continue  # trivially empty loop
+            out.append(s)
+        elif isinstance(s, N.If):
+            s.cond = simplify_expr(s.cond, env)
+            verdict = prove(s.cond, env) if not isinstance(s.cond, N.Const) else bool(s.cond.val)
+            if verdict is True:
+                body_env = env.copy()
+                body_env.add_predicate(s.cond)
+                out.extend(_simplify_stmts(s.body, body_env))
+                continue
+            if verdict is False:
+                out.extend(_simplify_stmts(s.orelse, env))
+                continue
+            body_env = env.copy()
+            body_env.add_predicate(s.cond)
+            s.body = _simplify_stmts(s.body, body_env)
+            s.orelse = _simplify_stmts(s.orelse, env)
+            out.append(s)
+        elif isinstance(s, N.Call):
+            s.args = [simplify_expr(a, env) if not isinstance(a, N.WindowExpr) else _simplify_window(a, env) for a in s.args]
+            out.append(s)
+        elif isinstance(s, N.WriteConfig):
+            s.rhs = simplify_expr(s.rhs, env)
+            out.append(s)
+        elif isinstance(s, N.Alloc):
+            from ..ir.types import TensorType
+
+            if isinstance(s.typ, TensorType):
+                s.typ = TensorType(s.typ.base, [simplify_expr(e, env) for e in s.typ.shape], s.typ.is_window)
+            out.append(s)
+        elif isinstance(s, N.WindowStmt):
+            s.rhs = _simplify_window(s.rhs, env)
+            out.append(s)
+        else:
+            out.append(s)
+    return out
+
+
+def _simplify_window(w: N.WindowExpr, env: FactEnv) -> N.WindowExpr:
+    w = copy_node(w)
+    new_idx = []
+    for d in w.idx:
+        if isinstance(d, N.Interval):
+            new_idx.append(N.Interval(simplify_expr(d.lo, env), simplify_expr(d.hi, env)))
+        else:
+            new_idx.append(N.Point(simplify_expr(d.pt, env)))
+    w.idx = new_idx
+    return w
+
+
+def _simplify_root(root: N.ProcDef) -> N.ProcDef:
+    from ..core.procedure import copy_node_proc
+
+    new_root = copy_node_proc(root)
+    env = FactEnv.from_proc(new_root)
+    new_root.body = _simplify_stmts(new_root.body, env)
+    return new_root
+
+
+@scheduling_primitive
+def simplify(proc):
+    """Arithmetically simplify index expressions and eliminate trivially dead
+    branches across the whole procedure."""
+    new_root = _simplify_root(proc._root)
+    # Whole-procedure rewrites do not track fine-grained forwarding; cursors
+    # into the simplified procedure keep their paths where statement structure
+    # is unchanged, which the identity forward captures heuristically.
+    return proc._derive(new_root, identity_forward)
+
+
+@scheduling_primitive
+def eliminate_dead_code(proc, scope=None):
+    """Remove loops that run zero times and branches whose condition is
+    statically known within ``scope`` (default: the whole procedure)."""
+    if scope is None:
+        return simplify.__wrapped__(proc)
+    cur = to_stmt_cursor(proc, scope)
+    node = cur._node()
+    env = proc_fact_env(proc, cur._path)
+    new_stmts = _simplify_stmts([node], env)
+    owner, attr, idx = stmt_coords(cur)
+    new_root = replace_stmts(proc._root, owner, attr, idx, 1, new_stmts)
+    trace = EditTrace()
+    trace.rewrite(owner, attr, idx, 1, len(new_stmts))
+    return proc._derive(new_root, trace.forward_fn())
+
+
+def dce(proc):
+    """Alias for :func:`eliminate_dead_code` over the whole procedure (the
+    name used by the paper's Appendix C schedule)."""
+    return eliminate_dead_code(proc)
+
+
+@scheduling_primitive
+def rewrite_expr(proc, expr, new_expr):
+    """Replace an expression with an equivalent one (equivalence is checked
+    with the linear prover under the enclosing facts)."""
+    c = to_expr_cursor(proc, expr)
+    node = c._node()
+    if isinstance(new_expr, str):
+        from ..frontend.parser import parse_expr_fragment
+
+        new_expr = parse_expr_fragment(new_expr, proc._root)
+    env = proc_fact_env(proc, c._path)
+    require(
+        exprs_equal(node, new_expr, env),
+        "rewrite_expr: cannot prove the two expressions are equivalent",
+    )
+    new_root = set_node(proc._root, c._path, copy_node(new_expr))
+    return proc._derive(new_root, identity_forward)
+
+
+@scheduling_primitive
+def merge_writes(proc, s1, s2=None):
+    """Merge two adjacent writes to the same location (Appendix A.6)."""
+    c1 = to_stmt_cursor(proc, s1)
+    c2 = to_stmt_cursor(proc, s2) if s2 is not None else c1.next()
+    if not c2.is_valid():
+        raise SchedulingError("merge_writes: no following statement")
+    n1, n2 = c1._node(), c2._node()
+    require(
+        isinstance(n1, (N.Assign, N.Reduce)) and isinstance(n2, (N.Assign, N.Reduce)),
+        "merge_writes: both statements must be writes",
+    )
+    owner1, attr1, idx1 = stmt_coords(c1)
+    owner2, attr2, idx2 = stmt_coords(c2)
+    require(
+        (owner1, attr1) == (owner2, attr2) and idx2 == idx1 + 1,
+        "merge_writes: the writes must be adjacent",
+    )
+    env = proc_fact_env(proc, c1._path)
+    require(n1.name is n2.name and len(n1.idx) == len(n2.idx), "merge_writes: writes target different buffers")
+    require(
+        all(exprs_equal(a, b, env) for a, b in zip(n1.idx, n2.idx)),
+        "merge_writes: writes target different locations",
+    )
+    # second statement must not read the destination
+    reads_dst = any(
+        isinstance(node, N.Read) and node.name is n2.name for node, _ in walk(n2.rhs)
+    )
+
+    if isinstance(n2, N.Assign):
+        require(not reads_dst, "merge_writes: the second write reads its own destination")
+        merged: N.Stmt = copy_node(n2)
+    else:  # n2 is Reduce
+        if isinstance(n1, N.Assign):
+            merged = N.Assign(
+                n1.name,
+                [copy_node(i) for i in n1.idx],
+                N.BinOp("+", copy_node(n1.rhs), copy_node(n2.rhs), n1.typ),
+                n1.typ,
+            )
+        else:
+            merged = N.Reduce(
+                n1.name,
+                [copy_node(i) for i in n1.idx],
+                N.BinOp("+", copy_node(n1.rhs), copy_node(n2.rhs), n1.typ),
+                n1.typ,
+            )
+    new_root = replace_stmts(proc._root, owner1, attr1, idx1, 2, [merged])
+    trace = EditTrace()
+    trace.rewrite(owner1, attr1, idx1, 2, 1, lambda off, rest: (0, ()) )
+    return proc._derive(new_root, trace.forward_fn())
+
+
+@scheduling_primitive
+def inline_window(proc, window_stmt):
+    """Inline a window-binding statement ``w = A[...]`` by substituting the
+    window into every use of ``w``."""
+    c = to_stmt_cursor(proc, window_stmt)
+    node = c._node()
+    require(isinstance(node, N.WindowStmt), "inline_window: expected a window statement")
+    w = node.rhs
+    buf = w.name
+    # compute per-dimension offsets; Point dims disappear from the window's rank
+    offsets = []
+    for d in w.idx:
+        if isinstance(d, N.Interval):
+            offsets.append(("interval", d.lo))
+        else:
+            offsets.append(("point", d.pt))
+
+    def rewrite_access(e: N.Expr) -> N.Expr:
+        if isinstance(e, N.Read) and e.name is node.name:
+            new_idx = []
+            k = 0
+            for kind, off in offsets:
+                if kind == "point":
+                    new_idx.append(copy_node(off))
+                else:
+                    new_idx.append(N.BinOp("+", copy_node(off), e.idx[k], e.typ))
+                    k += 1
+            return N.Read(buf, new_idx, e.typ)
+        return e
+
+    owner, attr, idx = stmt_coords(c)
+    # delete the window statement and rewrite the remainder of the procedure
+    new_root = replace_stmts(proc._root, owner, attr, idx, 1, [])
+    new_root.body = [map_exprs(s, rewrite_access) for s in new_root.body]
+    trace = EditTrace()
+    trace.delete(owner, attr, idx, 1)
+    return proc._derive(new_root, trace.forward_fn())
+
+
+@scheduling_primitive
+def inline_assign(proc, assign):
+    """Inline a scalar assignment ``x = e`` into the following statements and
+    delete it (x must not be written again afterwards)."""
+    c = to_stmt_cursor(proc, assign)
+    node = c._node()
+    require(isinstance(node, N.Assign) and not node.idx, "inline_assign: expected a scalar assignment")
+    owner, attr, idx = stmt_coords(c)
+    owner_node = get_node(proc._root, owner)
+    following = getattr(owner_node, attr)[idx + 1 :]
+    require(
+        node.name not in written_buffers(list(following)),
+        "inline_assign: the variable is written again after the assignment",
+    )
+    env = {node.name: node.rhs}
+    new_following = [substitute_reads(s, env) for s in copy_stmts(following)]
+    n_after = len(following)
+    new_root = replace_stmts(proc._root, owner, attr, idx, 1 + n_after, new_following)
+    trace = EditTrace()
+    trace.rewrite(owner, attr, idx, 1 + n_after, n_after, lambda off, rest: None if off == 0 else (off - 1, rest))
+    return proc._derive(new_root, trace.forward_fn())

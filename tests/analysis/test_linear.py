@@ -1,0 +1,58 @@
+"""Linear-analysis tests: simplification, proving, divisibility."""
+from __future__ import annotations
+
+from repro.analysis import FactEnv, const_value, exprs_equal, prove, prove_divisible, simplify_expr
+from repro.frontend.parser import parse_expr_fragment
+from repro.ir import expr_str
+
+
+def _e(gemv, s):
+    return parse_expr_fragment(s, gemv._root)
+
+
+def test_constant_folding(gemv):
+    assert const_value(_e(gemv, "3 * 4 + 2")) == 14
+    assert const_value(_e(gemv, "(7 + 9) / 8")) == 2
+    assert const_value(_e(gemv, "17 % 8")) == 1
+
+
+def test_collect_terms(gemv):
+    e = simplify_expr(_e(gemv, "M + M + 0 * N"))
+    assert expr_str(e) == "2 * M"
+    e = simplify_expr(_e(gemv, "(M + N) - N"))
+    assert expr_str(e) == "M"
+
+
+def test_divmod_simplification(gemv):
+    env = FactEnv.from_proc(gemv._root)
+    # i in [0, 8) makes (8*q + i) % 8 == i and (8*q + i)/8 == q
+    from repro.ir import Sym
+    q, i = Sym("q"), Sym("i")
+    env.add_range(i, 0, 7)
+    env.add_range(q, 0, 100)
+    from repro.frontend.parser import parse_expr_fragment
+    e = parse_expr_fragment("(8 * M + N) % 8", gemv._root)
+    # N has no range facts, so this must NOT fold
+    assert expr_str(simplify_expr(e, env)) != "N"
+
+
+def test_prove_comparisons(gemv):
+    env = FactEnv.from_proc(gemv._root)
+    assert prove(_e(gemv, "M >= 0"), env) is True      # sizes are positive
+    assert prove(_e(gemv, "M < 0"), env) is False
+    assert prove(_e(gemv, "M > 100"), env) is None      # unknown
+    assert prove(_e(gemv, "M % 8 == 0"), env) is True   # from the assertion
+
+
+def test_prove_divisible(gemv):
+    env = FactEnv.from_proc(gemv._root)
+    assert prove_divisible(_e(gemv, "M"), 8, env)
+    assert prove_divisible(_e(gemv, "M"), 4, env)       # 8 | M implies 4 | M? (8k divisible by 4)
+    assert not prove_divisible(_e(gemv, "M + 1"), 8, env)
+    assert prove_divisible(_e(gemv, "16 * N"), 8, env)
+
+
+def test_exprs_equal(gemv):
+    assert exprs_equal(_e(gemv, "M + N"), _e(gemv, "N + M"))
+    assert exprs_equal(_e(gemv, "2 * M"), _e(gemv, "M + M"))
+    assert not exprs_equal(_e(gemv, "M"), _e(gemv, "N"))

@@ -1,0 +1,73 @@
+"""Cursor navigation and inspection."""
+from __future__ import annotations
+
+import pytest
+
+from repro import InvalidCursorError
+from repro.cursors import (
+    BlockCursor, ForCursor, GapCursor, InvalidCursor, LiteralCursor, ReduceCursor, is_invalid,
+)
+
+
+def test_parent_next_prev(gemv, stages):
+    i_loop = gemv.find_loop("i")
+    j_loop = gemv.find_loop("j")
+    assert j_loop.parent() == i_loop
+    with pytest.raises(InvalidCursorError):
+        i_loop.parent()
+
+    first, second = stages.find("for i in _: _", many=True)
+    assert first.next() == second
+    assert second.prev() == first
+    assert isinstance(second.next(), InvalidCursor)
+    assert is_invalid(second.next())
+
+
+def test_gaps_and_blocks(stages):
+    alloc = stages.find("tmp: _")
+    g_before, g_after = alloc.before(), alloc.after()
+    assert isinstance(g_before, GapCursor) and isinstance(g_after, GapCursor)
+    assert g_after.index() == g_before.index() + 1
+
+    block = alloc.expand(0, 2)
+    assert isinstance(block, BlockCursor) and len(block) == 3
+    assert block[0] == alloc
+
+
+def test_loop_inspection(gemv):
+    j = gemv.find_loop("j")
+    assert j.name() == "j"
+    assert str(j.hi()) == "N"
+    assert isinstance(j.lo(), LiteralCursor) and j.lo().value() == 0
+    body = j.body()
+    assert len(body) == 1 and isinstance(body[0], ReduceCursor)
+
+
+def test_write_inspection(gemv):
+    red = gemv.find("y[_] += _")
+    assert red.name() == "y"
+    assert len(red.idx()) == 1
+    assert red.rhs().op() == "*"
+    assert red.rhs().lhs().name() == "A"
+
+
+def test_arg_cursors(gemv):
+    args = gemv.args()
+    assert [a.name() for a in args] == ["M", "N", "A", "x", "y"]
+    assert args[0].is_size() and not args[2].is_size()
+    assert args[2].is_tensor() and args[2].mem().name == "DRAM"
+    assert gemv.get_arg("A").name() == "A"
+
+
+def test_cursor_equality_and_proc(gemv):
+    c1 = gemv.find_loop("i")
+    c2 = gemv.find("for i in _: _")
+    assert c1 == c2 and hash(c1) == hash(c2)
+    assert c1.proc() is gemv
+
+
+def test_invalid_cursor_operations(gemv):
+    inv = InvalidCursor(gemv)
+    assert not inv.is_valid()
+    with pytest.raises(InvalidCursorError):
+        inv.name()

@@ -1,0 +1,58 @@
+"""Pattern-matching tests (find / find_loop)."""
+from __future__ import annotations
+
+import pytest
+
+from repro import InvalidCursorError
+from repro.cursors import AllocCursor, BlockCursor, ExprCursor, ForCursor, ReduceCursor
+
+
+def test_find_loop_by_name(gemv):
+    c = gemv.find_loop("i")
+    assert isinstance(c, ForCursor) and c.name() == "i"
+    assert gemv.find_loop("j").name() == "j"
+
+
+def test_find_by_pattern_equals_find_loop(gemv):
+    assert gemv.find("for i in _: _") == gemv.find_loop("i")
+
+
+def test_find_reduce_and_expr(gemv):
+    red = gemv.find("y[_] += _")
+    assert isinstance(red, ReduceCursor)
+    mul = gemv.find("A[_] * x[_]")
+    assert isinstance(mul, ExprCursor)
+    assert str(mul) == "A[i, j] * x[j]"
+
+
+def test_find_alloc(stages):
+    alloc = stages.find("tmp: _")
+    assert isinstance(alloc, AllocCursor) and alloc.name() == "tmp"
+
+
+def test_find_many_and_occurrence(stages):
+    loops = stages.find("for i in _: _", many=True)
+    assert len(loops) == 2
+    second = stages.find("for i in _: _ #1")
+    assert second == loops[1]
+
+
+def test_find_program_order(stages):
+    # the first assignment in program order writes tmp, the second writes y
+    writes = stages.find("_ = _", many=True)
+    assert writes[0].name() == "tmp"
+    assert writes[1].name() == "y"
+
+
+def test_find_no_match_raises(gemv):
+    with pytest.raises(InvalidCursorError):
+        gemv.find("for zz in _: _")
+    assert gemv.find("for zz in _: _", many=True) == []
+
+
+def test_find_within_cursor_scope(gemv):
+    outer = gemv.find_loop("i")
+    inner = outer.find_loop("j")
+    assert isinstance(inner, ForCursor)
+    with pytest.raises(InvalidCursorError):
+        inner.find_loop("i")  # the i loop is not inside the j loop

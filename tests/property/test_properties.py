@@ -1,0 +1,77 @@
+"""Property-based tests (hypothesis) on core invariants."""
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro import divide_loop, simplify
+from repro.analysis import FactEnv, linearize, linear_to_expr, simplify_expr
+from repro.frontend.parser import parse_expr_fragment
+from repro.interp import run_proc
+from repro.ir import expr_str
+
+
+def _axpy():
+    from repro import proc_from_source
+    return proc_from_source(
+        "def axpy_prop(n: size, a: f32, x: f32[n] @ DRAM, y: f32[n] @ DRAM):\n"
+        "    for i in seq(0, n):\n"
+        "        y[i] += a * x[i]\n"
+    )
+
+
+AXPY = _axpy()
+
+
+@settings(max_examples=20, deadline=None)
+@given(n=st.integers(1, 64), factor=st.integers(1, 9),
+       tail=st.sampled_from(["cut", "guard", "cut_and_guard"]))
+def test_divide_loop_always_preserves_semantics(n, factor, tail):
+    p = divide_loop(AXPY, "i", factor, ["io", "ii"], tail=tail)
+    rng = np.random.default_rng(n * 31 + factor)
+    x = rng.uniform(-1, 1, n).astype(np.float32)
+    y0 = rng.uniform(-1, 1, n).astype(np.float32)
+    y1, y2 = y0.copy(), y0.copy()
+    run_proc(AXPY, n=n, a=0.5, x=x, y=y1)
+    run_proc(p, n=n, a=0.5, x=x, y=y2)
+    assert np.allclose(y1, y2, rtol=1e-5)
+
+
+_EXPR_ENV = {"M": st.integers(0, 100), "N": st.integers(0, 100)}
+
+
+@settings(max_examples=40, deadline=None)
+@given(a=st.integers(-5, 5), b=st.integers(-5, 5), c=st.integers(1, 6),
+       m=st.integers(0, 50), n=st.integers(0, 50))
+def test_simplify_preserves_value(a, b, c, m, n):
+    from repro import proc_from_source
+    gemv = proc_from_source(
+        "def g(M: size, N: size, A: f32[M, N] @ DRAM):\n    for i in seq(0, M):\n        A[i, 0] = 0.0\n"
+    )
+    src = f"({a} * M + {b} * N + {c}) * 2 + (M + N) - M"
+    e = parse_expr_fragment(src, gemv._root)
+    simplified = simplify_expr(e, FactEnv.from_proc(gemv._root))
+
+    def ev(expr, env):
+        from repro.interp.interpreter import _Interp
+        it = _Interp()
+        syms = {arg.name.name: arg.name for arg in gemv._root.args}
+        return it.eval_expr(expr, {syms["M"]: m, syms["N"]: n})
+
+    assert ev(e, None) == ev(simplified, None)
+
+
+@settings(max_examples=30, deadline=None)
+@given(m=st.integers(1, 40), n=st.integers(1, 40))
+def test_linearize_roundtrip(m, n):
+    from repro import proc_from_source
+    g = proc_from_source(
+        "def g(M: size, N: size, A: f32[M, N] @ DRAM):\n    for i in seq(0, M):\n        A[i, 0] = 0.0\n"
+    )
+    e = parse_expr_fragment("3 * M + 2 * N + M * N + 7", g._root)
+    rebuilt = linear_to_expr(linearize(e))
+    from repro.interp.interpreter import _Interp
+    it = _Interp()
+    syms = {arg.name.name: arg.name for arg in g._root.args}
+    env = {syms["M"]: m, syms["N"]: n}
+    assert it.eval_expr(e, env) == it.eval_expr(rebuilt, env)
