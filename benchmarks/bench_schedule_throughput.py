@@ -1,0 +1,88 @@
+"""Scheduling throughput: how fast the *scheduler itself* runs.
+
+Unlike the figure benchmarks (which evaluate the cost model on the scheduled
+object code), this benchmark times the scheduling pipelines — the work the
+edit engine, cursors, and safety checks do — so engine-level changes
+(the transactional ``EditSession``, structural-hash memoisation) are
+measurable in the bench trajectory.
+
+Pipelines timed:
+
+* the fig06 Gemmini matmul schedule (``schedule_matmul_gemmini``),
+* the level-1 BLAS saxpy schedule (``optimize_level_1``).
+
+Run under pytest (with ``--benchmark-only`` for the pytest-benchmark groups)
+or directly::
+
+    PYTHONPATH=src python benchmarks/bench_schedule_throughput.py
+"""
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.blas import LEVEL1_KERNELS, optimize_level_1
+from repro.gemmini import make_matmul_kernel, schedule_matmul_gemmini
+from repro.machines import AVX2
+from repro.primitives import count_rewrites
+
+
+def _schedule_matmul():
+    kernel = make_matmul_kernel(K=64)
+    return schedule_matmul_gemmini(kernel)
+
+
+def _schedule_saxpy():
+    return optimize_level_1(LEVEL1_KERNELS["saxpy"], "i", "f32", AVX2, 2)
+
+
+def _time(fn, repeat: int = 5) -> float:
+    fn()  # warmup
+    best = float("inf")
+    for _ in range(repeat):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_schedule_throughput_report():
+    with count_rewrites("matmul") as ctr_mm:
+        _schedule_matmul()
+    with count_rewrites("saxpy") as ctr_sx:
+        _schedule_saxpy()
+    t_mm = _time(_schedule_matmul)
+    t_sx = _time(_schedule_saxpy)
+    print("\n=== Scheduling throughput (time to schedule, not kernel time) ===")
+    print(
+        f"  gemmini matmul : {t_mm * 1000:8.1f} ms   "
+        f"({ctr_mm.total} rewrites, {ctr_mm.atomic_edits} atomic edits, "
+        f"{ctr_mm.atomic_edits / t_mm:,.0f} edits/s)"
+    )
+    print(
+        f"  blas saxpy     : {t_sx * 1000:8.1f} ms   "
+        f"({ctr_sx.total} rewrites, {ctr_sx.atomic_edits} atomic edits, "
+        f"{ctr_sx.atomic_edits / t_sx:,.0f} edits/s)"
+    )
+    # sanity floor: scheduling a small kernel should never take seconds, and
+    # both pipelines must actually push atomic edits through the engine
+    # (no-op primitives like an empty delete_pass record 0 edits, so the
+    # atomic count can run below the rewrite count)
+    assert t_mm < 5.0 and t_sx < 5.0
+    assert ctr_mm.total > 0 and ctr_mm.atomic_edits > 0
+    assert ctr_sx.total > 0 and ctr_sx.atomic_edits > 0
+
+
+@pytest.mark.benchmark(group="schedule-throughput")
+def test_bench_matmul_scheduling(benchmark):
+    benchmark(_schedule_matmul)
+
+
+@pytest.mark.benchmark(group="schedule-throughput")
+def test_bench_saxpy_scheduling(benchmark):
+    benchmark(_schedule_saxpy)
+
+
+if __name__ == "__main__":
+    test_schedule_throughput_report()

@@ -49,6 +49,9 @@ class Procedure:
         self._root = root
         # provenance: (parent Procedure, forward function on descriptors)
         self._provenance = provenance
+        # the EditTrace of atomic edits that produced this version (None for
+        # root versions); recorded by the EditSession engine in _derive
+        self._edit_trace = None
 
     # -- basic accessors ---------------------------------------------------------
 
@@ -167,31 +170,53 @@ class Procedure:
             return InvalidCursor(self)
         return InvalidCursor(self)
 
-    def _derive(self, new_root: N.ProcDef, forward_fn: Callable) -> "Procedure":
-        """Create the successor version of this procedure (used by primitives)."""
-        return Procedure(new_root, provenance=(self, forward_fn))
+    def _derive(self, new_root: N.ProcDef, forward_fn: Callable, edit_trace=None) -> "Procedure":
+        """Create the successor version of this procedure.
+
+        Called by :meth:`repro.ir.edit.EditSession.finish`; ``edit_trace`` is
+        the finished trace of atomic edits, kept as provenance so metrics and
+        future caching layers can inspect how a version was produced."""
+        new = Procedure(new_root, provenance=(self, forward_fn))
+        new._edit_trace = edit_trace
+        return new
+
+    def edit_trace(self):
+        """The trace of atomic edits that produced this version (or ``None``
+        for a root version)."""
+        return self._edit_trace
+
+    def atomic_edit_count(self) -> int:
+        """Number of atomic edits between this version and its parent."""
+        return 0 if self._edit_trace is None else len(self._edit_trace)
 
     # -- convenience methods mirroring the Exo API used in the paper ---------------
 
     def add_assertion(self, cond: str) -> "Procedure":
         """Return a copy of this procedure with an extra assertion."""
         from ..frontend.parser import parse_expr_fragment
+        from ..ir.edit import EditSession
 
         new_root = copy_node_proc(self._root)
         new_root.preds = list(new_root.preds) + [parse_expr_fragment(cond, new_root)]
-        from ..cursors.forwarding import identity_forward
-
-        return self._derive(new_root, identity_forward)
+        session = EditSession(self)
+        session.set_root(new_root)
+        return session.finish()
 
     def partial_eval(self, *vals, **kwvals) -> "Procedure":
         """Specialise leading size/index/bool arguments to constant values."""
         binding: Dict[str, object] = {}
-        size_args = [a for a in self._root.args if not isinstance(a.typ, TensorType) and a.typ.is_indexable() or (isinstance(a.typ, ScalarType) and a.typ.is_bool())]
         if vals:
+            # positional values bind, in order, to the control arguments:
+            # non-tensor args of an indexable (size/index/int) or bool type
             candidates = [
                 a for a in self._root.args
                 if isinstance(a.typ, ScalarType) and (a.typ.is_indexable() or a.typ.is_bool())
             ]
+            if len(vals) > len(candidates):
+                raise SchedulingError(
+                    f"partial_eval: {len(vals)} positional values but only "
+                    f"{len(candidates)} control arguments"
+                )
             for a, v in zip(candidates, vals):
                 binding[a.name.name] = v
         binding.update(kwvals)
@@ -219,11 +244,13 @@ class Procedure:
                     [substitute_reads(e, sub_env) for e in a.typ.shape],
                     a.typ.is_window,
                 )
-        from ..cursors.forwarding import identity_forward
+        from ..ir.edit import EditSession
         from ..primitives.simplify_ops import _simplify_root
 
         new_root = _simplify_root(new_root)
-        return self._derive(new_root, identity_forward)
+        session = EditSession(self)
+        session.set_root(new_root)
+        return session.finish()
 
     def transpose(self) -> "Procedure":  # pragma: no cover - convenience only
         raise NotImplementedError("transpose is not part of the reproduced primitive set")

@@ -1,12 +1,24 @@
-"""Cursor forwarding.
+"""Atomic edits and cursor forwarding.
 
 Every scheduling primitive decomposes its effect on the AST into a sequence of
 *atomic edits* (Section 5.2 of the paper): insertion, deletion, replacement,
-movement, and wrapping of statement ranges.  Each atomic edit has a canonical
-forwarding function that maps cursor locations in the pre-edit tree to
-locations in the post-edit tree (or invalidates them).  The forwarding
-function of a primitive is the composition of its atomic edits' functions, and
+movement, and wrapping of statement ranges.  Each atomic edit carries **both**
+halves of the transformation:
+
+* ``apply(root)`` — produce the rewritten tree (functional update, sharing
+  unchanged subtrees), and
+* ``forward(desc)`` — the canonical forwarding function mapping cursor
+  locations in the pre-edit tree to locations in the post-edit tree (or
+  invalidating them).
+
+Deriving both from the same edit object is what keeps the rewritten AST and
+the forwarding semantics from drifting apart.  The forwarding function of a
+primitive is the composition of its atomic edits' functions, and
 ``Procedure.forward`` composes those across the whole provenance chain.
+
+Atomic edits are **not** constructed by scheduling primitives directly;
+they are recorded by :class:`repro.ir.edit.EditSession`, the transactional
+edit engine every primitive goes through.
 
 Cursor locations are normalised to *descriptors*:
 
@@ -20,9 +32,17 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Tuple
 
-from ..ir.build import Path
+from ..ir.build import Path, _shallow_copy, get_node, replace_stmts, set_node
 
-__all__ = ["BlockRewrite", "MoveEdit", "EditTrace", "identity_forward"]
+__all__ = [
+    "BlockRewrite",
+    "MoveEdit",
+    "ExprEdit",
+    "FieldEdit",
+    "RootEdit",
+    "EditTrace",
+    "identity_forward",
+]
 
 
 Desc = Tuple  # descriptor tuples as documented above
@@ -53,6 +73,13 @@ class BlockRewrite:
     n_old: int
     n_new: int
     inner_map: Optional[InnerMap] = None
+    new_stmts: Optional[List] = None
+
+    def apply(self, root):
+        """Apply this rewrite to ``root``, returning the new tree."""
+        if self.new_stmts is None:
+            raise ValueError("this BlockRewrite carries no replacement statements")
+        return replace_stmts(root, self.owner_path, self.attr, self.lo, self.n_old, self.new_stmts)
 
     def _delta(self) -> int:
         return self.n_new - self.n_old
@@ -163,6 +190,15 @@ class MoveEdit:
     dst_attr: str
     dst_idx: int
 
+    def apply(self, root):
+        """Apply the move to ``root``: remove the source statements, then
+        insert them at the destination gap (whose coordinates are expressed in
+        the post-removal tree)."""
+        src_parent = get_node(root, self.src_owner)
+        moved = list(getattr(src_parent, self.src_attr))[self.src_idx : self.src_idx + self.n]
+        root = replace_stmts(root, self.src_owner, self.src_attr, self.src_idx, self.n, [])
+        return replace_stmts(root, self.dst_owner, self.dst_attr, self.dst_idx, 0, moved)
+
     def forward(self, desc: Desc) -> Optional[Desc]:
         delete = BlockRewrite(self.src_owner, self.src_attr, self.src_idx, self.n, 0)
         insert = BlockRewrite(self.dst_owner, self.dst_attr, self.dst_idx, 0, self.n)
@@ -197,8 +233,66 @@ class MoveEdit:
 
 
 @dataclass
+class ExprEdit:
+    """Replace the expression at ``path`` with ``new_expr``.
+
+    Expression replacement does not change the statement structure of the
+    tree, so descriptors forward unchanged (cursors below the replaced
+    expression re-resolve heuristically, matching the historical behaviour of
+    expression-level rewrites).
+    """
+
+    path: Path
+    new_expr: object
+
+    def apply(self, root):
+        return set_node(root, self.path, self.new_expr)
+
+    def forward(self, desc: Desc) -> Optional[Desc]:
+        return desc
+
+
+@dataclass
+class FieldEdit:
+    """Set a non-structural field (``pragma``, ``mem``, ``body`` wholesale,
+    …) of the node at ``path``.  Descriptors forward unchanged."""
+
+    path: Path
+    attr: str
+    value: object
+
+    def apply(self, root):
+        node = _shallow_copy(get_node(root, self.path))
+        setattr(node, self.attr, self.value)
+        return set_node(root, self.path, node)
+
+    def forward(self, desc: Desc) -> Optional[Desc]:
+        return desc
+
+
+@dataclass
+class RootEdit:
+    """Swap in a rebuilt procedure root wholesale.
+
+    Used by whole-procedure rewrites (access re-indexing, simplification,
+    precision changes) that do not track fine-grained forwarding; ``fwd``
+    defaults to the identity heuristic, which keeps cursors alive wherever the
+    statement structure is unchanged.
+    """
+
+    new_root: object
+    fwd: Callable[[Desc], Optional[Desc]] = identity_forward
+
+    def apply(self, root):
+        return self.new_root
+
+    def forward(self, desc: Desc) -> Optional[Desc]:
+        return self.fwd(desc)
+
+
+@dataclass
 class EditTrace:
-    """An ordered list of atomic edits recorded by a primitive.
+    """An ordered list of atomic edits recorded by an edit session.
 
     Coordinates of each edit are relative to the tree produced by the previous
     edits (i.e. in application order).
@@ -206,20 +300,11 @@ class EditTrace:
 
     edits: List[object] = field(default_factory=list)
 
+    def __len__(self) -> int:
+        return len(self.edits)
+
     def add(self, edit) -> None:
         self.edits.append(edit)
-
-    def rewrite(self, owner_path, attr, lo, n_old, n_new, inner_map=None) -> None:
-        self.add(BlockRewrite(tuple(owner_path), attr, lo, n_old, n_new, inner_map))
-
-    def insert(self, owner_path, attr, idx, n) -> None:
-        self.rewrite(owner_path, attr, idx, 0, n)
-
-    def delete(self, owner_path, attr, idx, n) -> None:
-        self.rewrite(owner_path, attr, idx, n, 0)
-
-    def move(self, src_owner, src_attr, src_idx, n, dst_owner, dst_attr, dst_idx) -> None:
-        self.add(MoveEdit(tuple(src_owner), src_attr, src_idx, n, tuple(dst_owner), dst_attr, dst_idx))
 
     def forward_fn(self) -> Callable[[Desc], Optional[Desc]]:
         edits = list(self.edits)

@@ -165,24 +165,14 @@ def H_compute_store_at(p, producer: str, consumer: str, at_iter: str):
         inner = N.For(it, N.Const(0, int_t), ext, [inner], "seq")
 
     # splice the recomputation at the top of the consumer tile loop and delete
-    # the producer's original full-image loop nest
-    from ..cursors.forwarding import EditTrace
-    from ..ir.build import replace_stmts
-    from ..primitives._base import stmt_coords
+    # the producer's original full-image loop nest; one transactional session
+    # forwards the producer cursor across the insertion automatically
+    from ..ir.edit import EditSession
 
-    body_block = consumer_at.body()
-    owner, attr, lo_i, _hi_i = body_block._owner_path, body_block._attr, body_block._lo, body_block._hi
-    new_root = replace_stmts(p._root, owner, attr, lo_i, 0, [inner])
-    trace = EditTrace()
-    trace.insert(owner, attr, lo_i, 1)
-    p = p._derive(new_root, trace.forward_fn())
-
-    prod_nest = p.forward(prod_nest)
-    powner, pattr, pidx = stmt_coords(prod_nest)
-    new_root = replace_stmts(p._root, powner, pattr, pidx, 1, [])
-    trace = EditTrace()
-    trace.delete(powner, pattr, pidx, 1)
-    p = p._derive(new_root, trace.forward_fn())
+    session = EditSession(p)
+    session.insert_stmts(consumer_at.body().before(), [inner])
+    session.delete(prod_nest)
+    p = session.finish()
 
     return simplify(p)
 

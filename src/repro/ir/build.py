@@ -33,6 +33,7 @@ __all__ = [
     "copy_node",
     "copy_stmts",
     "alpha_rename_stmts",
+    "struct_hash",
     "structurally_equal",
     "collect_syms_read",
     "collect_syms_written",
@@ -309,13 +310,76 @@ def alpha_rename_stmts(stmts: Sequence[N.Stmt]) -> List[N.Stmt]:
 # ---------------------------------------------------------------------------
 
 
+_NONE_HASH = hash("<none>")
+
+
+def struct_hash(node) -> int:
+    """Structural hash of an IR subtree, memoised on the nodes.
+
+    The hash is *compatible* with :func:`structurally_equal`: trees that are
+    structurally equal (under either symbol-comparison mode) always hash
+    equally, so differing hashes prove inequality.  Symbols hash by name and
+    expression result types are ignored except on allocations, mirroring the
+    equality relation.
+
+    Hashes are cached per node; the cache is flushed whenever the edit engine
+    records an atomic edit (see :func:`repro.ir.nodes.mutation_epoch`).
+    Contract: do **not** mutate a subtree in place after hashing it within the
+    same epoch — the codebase's convention of mutating only freshly copied
+    nodes (which carry no memo) upholds this automatically.
+    """
+    return _struct_hash(node, N.mutation_epoch())
+
+
+def _struct_hash(v, epoch: int) -> int:
+    if v is None:
+        return _NONE_HASH
+    if isinstance(v, Sym):
+        return hash(v.name)
+    if isinstance(v, list):
+        return hash(tuple(_struct_hash(x, epoch) for x in v))
+    if isinstance(v, ScalarType):
+        return hash(v)
+    if isinstance(v, TensorType):
+        return hash(
+            ("<tensor>", hash(v.base), v.is_window, tuple(_struct_hash(e, epoch) for e in v.shape))
+        )
+    if isinstance(v, N.Node):
+        cached = getattr(v, "_shash_cache", None)
+        if cached is not None and cached[0] == epoch:
+            return cached[1]
+        parts = [hash(type(v).__name__)]
+        for f in dataclasses.fields(v):
+            if f.name == "typ" and not isinstance(v, N.Alloc):
+                continue
+            parts.append(_struct_hash(getattr(v, f.name), epoch))
+        h = hash(tuple(parts))
+        # the memo is plain instance state; nothing invalidates it except the
+        # epoch moving on (bumped per atomic edit by the edit engine)
+        v._shash_cache = (epoch, h)
+        return h
+    try:
+        return hash(v)
+    except TypeError:
+        return id(v)
+
+
 def structurally_equal(a, b, *, match_sym_names: bool = False) -> bool:
     """Structural equality of IR subtrees.
 
     Symbols compare by identity unless ``match_sym_names`` is set, in which
     case they compare by name (useful for comparing procedures produced by
     independent scheduling runs).
+
+    Two fast paths avoid re-walking shared subtrees: identical objects are
+    equal by definition (the functional-update helpers share unchanged
+    subtrees between versions), and fresh memoised structural hashes (see
+    :func:`struct_hash`) that differ prove inequality without a field-by-field
+    walk.  Hashes are only consulted when already cached — equality never pays
+    to compute them — so warming the cache is the caller's choice.
     """
+    if a is b:
+        return True
     if a is None or b is None:
         return a is None and b is None
     if isinstance(a, Sym) and isinstance(b, Sym):
@@ -336,6 +400,11 @@ def structurally_equal(a, b, *, match_sym_names: bool = False) -> bool:
         return a == b
     if type(a) is not type(b):
         return False
+    ca = getattr(a, "_shash_cache", None)
+    if ca is not None:
+        cb = getattr(b, "_shash_cache", None)
+        if cb is not None and ca[0] == cb[0] == N.mutation_epoch() and ca[1] != cb[1]:
+            return False
     for f in dataclasses.fields(a):
         if f.name in ("typ",) and not isinstance(a, (N.Alloc,)):
             # expression result types are inferred metadata; ignore for

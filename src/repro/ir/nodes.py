@@ -30,6 +30,8 @@ from .types import ScalarType, TensorType, bool_t, index_t, int_t
 
 __all__ = [
     "Node",
+    "mutation_epoch",
+    "bump_mutation_epoch",
     "Expr",
     "Stmt",
     "Const",
@@ -60,6 +62,28 @@ __all__ = [
 ]
 
 Type = Union[ScalarType, TensorType]
+
+
+# Global mutation epoch.  Cached structural hashes (see
+# :func:`repro.ir.build.struct_hash`) record the epoch at which they were
+# computed and are discarded when it has moved on.  The edit engine
+# (:class:`repro.ir.edit.EditSession`) bumps the epoch once per atomic edit,
+# which is deliberately coarse — any edit flushes every cache — but keeps node
+# construction and in-place field assignment free of bookkeeping.  In-place
+# mutation between bumps is only performed on freshly copied nodes, which
+# carry no memo, so caches never go stale (see ``struct_hash``'s contract).
+_mutation_epoch = 0
+
+
+def mutation_epoch() -> int:
+    """The current global IR mutation epoch (see module comment above)."""
+    return _mutation_epoch
+
+
+def bump_mutation_epoch() -> None:
+    """Invalidate every memoised structural hash."""
+    global _mutation_epoch
+    _mutation_epoch += 1
 
 
 class Node:

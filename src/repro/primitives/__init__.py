@@ -23,7 +23,12 @@ from .buffers import (
     unroll_buffer,
 )
 from .config_ops import bind_config, delete_config, write_config
-from .counter import count_rewrites, global_rewrite_count, reset_global_count
+from .counter import (
+    count_rewrites,
+    global_atomic_edit_count,
+    global_rewrite_count,
+    reset_global_count,
+)
 from .loops import (
     add_loop,
     cut_loop,
@@ -124,5 +129,6 @@ __all__ = [
     # rewrite counting
     "count_rewrites",
     "global_rewrite_count",
+    "global_atomic_edit_count",
     "reset_global_count",
 ]

@@ -12,6 +12,58 @@ This module provides
   cursor forwarding (``expand_dim(p, c, ...)`` is shorthand for
   ``expand_dim(p, p.forward(c), ...)``), and rewrite counting,
 * cursor/pattern coercion helpers shared by all primitives.
+
+Writing a scheduling primitive
+==============================
+
+A primitive has three phases: **resolve** its reference arguments to cursors,
+**check** its safety conditions, and **edit** the tree through a transactional
+:class:`~repro.ir.edit.EditSession`.  The session records atomic edits
+(insert / delete / replace / wrap / move / expression / field), applies them
+eagerly to a working tree, and on ``finish()`` derives the successor
+``Procedure`` — the rewritten AST *and* the cursor-forwarding function are
+produced from the same edit objects, so they cannot drift apart.  Never build
+the new root or a forwarding trace by hand.
+
+The skeleton (this is, modulo checks, the real ``cut_loop``)::
+
+    @scheduling_primitive
+    def cut_loop(proc, loop, cut_point):
+        # 1. resolve references (cursors or pattern strings)
+        loop = to_loop_cursor(proc, loop)
+        node = loop._node()
+
+        # 2. establish safety under the enclosing facts
+        env = proc_fact_env(proc, loop._path)
+        require(prove(...lo <= cut_point <= hi...), "cut_loop: ...")
+
+        # 3. build the replacement statements ...
+        first  = N.For(node.iter, node.lo, cut_point, copy_stmts(node.body), ...)
+        second = N.For(..., cut_point, node.hi, ...)
+
+        # 4. ... and run them through one edit session
+        session = EditSession(proc)
+        session.replace(loop, [first, second], lambda off, rest: (0, rest))
+        return session.finish()
+
+The optional ``inner_map(offset, rest)`` of ``replace`` forwards cursors that
+pointed *inside* the replaced range: ``offset`` is the statement's index
+relative to the range, ``rest`` the path below it; return the new
+``(offset, rest)`` or ``None`` to invalidate.  Without it, inner cursors
+survive only when the range length is unchanged.
+
+Before the edit engine, each primitive performed this surgery twice — once
+with raw ``replace_stmts`` calls and once as a hand-built trace of forwarding
+edits, kept in sync by hand at every call site::
+
+    # OLD (pre-EditSession):
+    new_root = replace_stmts(proc._root, owner, attr, idx, 1, [first, second])
+    trace = <hand-built list of BlockRewrite forwarding records>
+    return proc._derive(new_root, trace.forward_fn())
+
+Multi-step primitives simply record several edits in one session (see
+``delete_pass`` or ``H_compute_store_at``); coordinates given as cursors are
+forwarded through the session's earlier edits automatically.
 """
 
 from __future__ import annotations
@@ -35,7 +87,7 @@ from ..cursors.cursor import (
 from ..errors import InvalidCursorError, SchedulingError
 from ..ir import nodes as N
 from ..ir.syms import Sym
-from .counter import record_rewrite
+from .counter import pop_current_primitive, push_current_primitive, record_rewrite
 
 __all__ = [
     "scheduling_primitive",
@@ -64,7 +116,11 @@ def scheduling_primitive(fn: Callable) -> Callable:
                 f"{fn.__name__}: first argument must be a Procedure, got {type(proc).__name__}"
             )
         record_rewrite(fn.__name__)
-        return fn(proc, *args, **kwargs)
+        push_current_primitive(fn.__name__)
+        try:
+            return fn(proc, *args, **kwargs)
+        finally:
+            pop_current_primitive()
 
     wrapper.__wrapped__ = fn
     wrapper.is_scheduling_primitive = True

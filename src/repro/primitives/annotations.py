@@ -9,10 +9,10 @@ from __future__ import annotations
 
 from ..analysis.effects import loop_iterations_commute
 from ..cursors.cursor import ArgCursor
-from ..cursors.forwarding import identity_forward
 from ..errors import SchedulingError
 from ..ir import nodes as N
-from ..ir.build import map_exprs, map_stmts, set_node, walk
+from ..ir.build import map_exprs, map_stmts, walk
+from ..ir.edit import EditSession
 from ..ir.memories import Memory, memory_by_name
 from ..ir.types import ScalarType, TensorType, scalar_type_from_name
 from ._base import (
@@ -43,7 +43,9 @@ def set_memory(proc, buf, mem):
         for node, _ in walk(new_root):
             if isinstance(node, N.Alloc) and node.name is sym:
                 node.mem = mem
-    return proc._derive(new_root, identity_forward)
+    session = EditSession(proc)
+    session.set_root(new_root)
+    return session.finish()
 
 
 @scheduling_primitive
@@ -77,7 +79,9 @@ def set_precision(proc, buf, precision):
     for node, _ in walk(new_root):
         if isinstance(node, (N.Read, N.Assign, N.Reduce)) and getattr(node, "name", None) is sym:
             node.typ = precision
-    return proc._derive(new_root, identity_forward)
+    session = EditSession(proc)
+    session.set_root(new_root)
+    return session.finish()
 
 
 @scheduling_primitive
@@ -90,9 +94,9 @@ def parallelize_loop(proc, loop):
         loop_iterations_commute(node, env),
         "parallelize_loop: loop iterations carry dependencies",
     )
-    new_node = N.For(node.iter, node.lo, node.hi, node.body, "par")
-    new_root = set_node(proc._root, loop._path, new_node)
-    return proc._derive(new_root, identity_forward)
+    session = EditSession(proc)
+    session.set_field(loop._path, "pragma", "par")
+    return session.finish()
 
 
 @scheduling_primitive
@@ -107,4 +111,6 @@ def set_window(proc, buf, is_window: bool = True):
     new_root = copy_node_proc(proc._root)
     old = new_root.args[cur._idx].typ
     new_root.args[cur._idx].typ = TensorType(old.base, old.shape, bool(is_window))
-    return proc._derive(new_root, identity_forward)
+    session = EditSession(proc)
+    session.set_root(new_root)
+    return session.finish()

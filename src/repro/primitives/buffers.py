@@ -12,7 +12,6 @@ from typing import Callable, List, Optional, Sequence, Union
 from ..analysis.effects import accesses_of, read_buffers, written_buffers
 from ..analysis.linear import const_value, prove, prove_divisible, simplify_expr
 from ..cursors.cursor import AllocCursor, BlockCursor, ExprCursor, StmtCursor
-from ..cursors.forwarding import EditTrace, identity_forward
 from ..errors import SchedulingError
 from ..ir import nodes as N
 from ..ir.build import (
@@ -20,10 +19,10 @@ from ..ir.build import (
     copy_stmts,
     get_node,
     map_exprs,
-    replace_stmts,
     structurally_equal,
     walk,
 )
+from ..ir.edit import EditSession
 from ..ir.memories import DRAM
 from ..ir.syms import Sym
 from ..ir.types import ScalarType, TensorType, bool_t, index_t, int_t
@@ -134,12 +133,9 @@ def _lift_alloc_once(proc, cur: AllocCursor):
             )
     # destination: the gap right before the enclosing loop/if
     dst_owner, dst_attr, dst_idx = owner_path[:-1], owner_path[-1][0], owner_path[-1][1]
-    trace = EditTrace()
-    trace.move(owner_path, attr, idx, 1, dst_owner, dst_attr, dst_idx)
-    # apply: remove from source, insert at destination
-    new_root = replace_stmts(proc._root, owner_path, attr, idx, 1, [])
-    new_root = replace_stmts(new_root, dst_owner, dst_attr, dst_idx, 0, [copy_node(node)])
-    new_proc = proc._derive(new_root, trace.forward_fn())
+    session = EditSession(proc)
+    session.move((owner_path, attr, idx, idx + 1), (dst_owner, dst_attr, dst_idx))
+    new_proc = session.finish()
     from ..cursors.cursor import make_stmt_cursor
 
     new_cur = make_stmt_cursor(new_proc, dst_owner + ((dst_attr, dst_idx),))
@@ -166,15 +162,13 @@ def sink_alloc(proc, alloc):
         if node.name in read_buffers([s]) | written_buffers([s]):
             raise SchedulingError("sink_alloc: the buffer is used outside the target statement")
 
-    target_path = owner_path + ((attr, idx + 1),)
-    trace = EditTrace()
     # destination inside the loop/if body at index 0; source removal shifts the
-    # target statement's index down by one.
+    # target statement's index down by one, so the post-removal gap coordinates
+    # address the target through the *source* index.
     dst_owner = owner_path + ((attr, idx),)
-    trace.move(owner_path, attr, idx, 1, dst_owner, "body", 0)
-    new_root = replace_stmts(proc._root, owner_path, attr, idx, 1, [])
-    new_root = replace_stmts(new_root, dst_owner, "body", 0, 0, [copy_node(node)])
-    return proc._derive(new_root, trace.forward_fn())
+    session = EditSession(proc)
+    session.move((owner_path, attr, idx, idx + 1), (dst_owner, "body", 0))
+    return session.finish()
 
 
 @scheduling_primitive
@@ -185,10 +179,9 @@ def delete_buffer(proc, alloc):
     used = read_buffers(proc._root.body) | written_buffers(proc._root.body)
     require(node.name not in used, "delete_buffer: the buffer is still used")
     owner, attr, idx = stmt_coords(cur)
-    new_root = replace_stmts(proc._root, owner, attr, idx, 1, [])
-    trace = EditTrace()
-    trace.delete(owner, attr, idx, 1)
-    return proc._derive(new_root, trace.forward_fn())
+    session = EditSession(proc)
+    session.delete((owner, attr, idx, idx + 1))
+    return session.finish()
 
 
 @scheduling_primitive
@@ -224,13 +217,12 @@ def reuse_buffer(proc, buf_a, buf_b):
     )
 
     # delete b's allocation and rename b -> a
-    new_root = replace_stmts(proc._root, owner, attr, idx, 1, [])
     from ..ir.build import rename_sym_in_stmts
 
-    new_root.body = rename_sym_in_stmts(new_root.body, sym_b, sym_a)
-    trace = EditTrace()
-    trace.delete(owner, attr, idx, 1)
-    return proc._derive(new_root, trace.forward_fn())
+    session = EditSession(proc)
+    session.delete((owner, attr, idx, idx + 1))
+    session.set_field((), "body", rename_sym_in_stmts(session.root.body, sym_b, sym_a))
+    return session.finish()
 
 
 # ---------------------------------------------------------------------------
@@ -276,7 +268,9 @@ def resize_dim(proc, alloc, dim: int, size, offset=0, *, fold: bool = False, uns
             shape = list(n.typ.shape)
             shape[dim] = copy_node(size)
             n.typ = TensorType(n.typ.base, shape, n.typ.is_window)
-    return proc._derive(new_root, identity_forward)
+    session = EditSession(proc)
+    session.set_root(new_root)
+    return session.finish()
 
 
 @scheduling_primitive
@@ -334,7 +328,9 @@ def expand_dim(proc, alloc, size, index_expr, *, unsafe_disable_check: bool = Fa
         from ..ir.build import map_stmts
 
         new_root.body = map_stmts([map_exprs(s, fix_scalar) for s in new_root.body], fix_scalar_stmt)
-    return proc._derive(new_root, identity_forward)
+    session = EditSession(proc)
+    session.set_root(new_root)
+    return session.finish()
 
 
 @scheduling_primitive
@@ -357,7 +353,9 @@ def rearrange_dim(proc, alloc, permutation: Sequence[int]):
         if isinstance(n, N.Alloc) and n.name is sym:
             shape = list(n.typ.shape)
             n.typ = TensorType(n.typ.base, [shape[p] for p in permutation], n.typ.is_window)
-    return proc._derive(new_root, identity_forward)
+    session = EditSession(proc)
+    session.set_root(new_root)
+    return session.finish()
 
 
 @scheduling_primitive
@@ -388,7 +386,9 @@ def divide_dim(proc, alloc, dim: int, quotient: int):
             outer_sz = simplify_expr(N.BinOp("/", copy_node(shape[dim]), _const(c), index_t), env)
             shape[dim : dim + 1] = [outer_sz, _const(c)]
             n.typ = TensorType(n.typ.base, shape, n.typ.is_window)
-    return proc._derive(new_root, identity_forward)
+    session = EditSession(proc)
+    session.set_root(new_root)
+    return session.finish()
 
 
 @scheduling_primitive
@@ -423,7 +423,9 @@ def mult_dim(proc, alloc, dim: int, dim2: int):
             shp[dim] = new_sz
             del shp[dim2]
             n.typ = TensorType(n.typ.base, shp, n.typ.is_window)
-    return proc._derive(new_root, identity_forward)
+    session = EditSession(proc)
+    session.set_root(new_root)
+    return session.finish()
 
 
 @scheduling_primitive
@@ -476,10 +478,10 @@ def unroll_buffer(proc, alloc, dim: int = 0):
 
     new_root.body = map_stmts([map_exprs(s, fix_expr) for s in new_root.body], fix_stmt)
     owner, attr, idx = stmt_coords(cur)
-    new_root = replace_stmts(new_root, owner, attr, idx, 1, new_allocs)
-    trace = EditTrace()
-    trace.rewrite(owner, attr, idx, 1, c)
-    return proc._derive(new_root, trace.forward_fn())
+    session = EditSession(proc)
+    session.set_root(new_root)
+    session.replace((owner, attr, idx, idx + 1), new_allocs)
+    return session.finish()
 
 
 # ---------------------------------------------------------------------------
@@ -535,10 +537,9 @@ def bind_expr(proc, exprs, new_name: str, *, cse: bool = False):
         rewritten = [map_exprs(copy_node(siblings[idx]), repl_struct)]
         n_old = 1
     new_stmts = [alloc, assign] + rewritten
-    new_root = replace_stmts(proc._root, owner, attr, idx, n_old, new_stmts)
-    trace = EditTrace()
-    trace.rewrite(owner, attr, idx, n_old, len(new_stmts), lambda off, rest: (off + 2, rest))
-    return proc._derive(new_root, trace.forward_fn())
+    session = EditSession(proc)
+    session.replace((owner, attr, idx, idx + n_old), new_stmts, lambda off, rest: (off + 2, rest))
+    return session.finish()
 
 
 def _parse_window(proc, window) -> N.WindowExpr:
@@ -669,11 +670,9 @@ def stage_mem(proc, block, window, new_name: str, *, accum: bool = False, init_z
         new_stmts.append(copy_loops(store=True))
 
     owner, attr, lo_i, hi_i = block_coords(block)
-    n_old = hi_i - lo_i
-    new_root = replace_stmts(proc._root, owner, attr, lo_i, n_old, new_stmts)
-    trace = EditTrace()
-    trace.rewrite(owner, attr, lo_i, n_old, len(new_stmts), lambda off, rest: (off + lead, rest))
-    return proc._derive(new_root, trace.forward_fn())
+    session = EditSession(proc)
+    session.replace((owner, attr, lo_i, hi_i), new_stmts, lambda off, rest: (off + lead, rest))
+    return session.finish()
 
 
 @scheduling_primitive
@@ -757,7 +756,6 @@ def stage_reduction(proc, loop, reduce_stmt, new_name: str, lanes: int):
     new_stmts = [alloc, init_loop, new_loop_node, final_loop]
 
     owner, attr, idx = stmt_coords(loop)
-    new_root = replace_stmts(proc._root, owner, attr, idx, 1, new_stmts)
-    trace = EditTrace()
-    trace.rewrite(owner, attr, idx, 1, 4, lambda off, rest: (2, rest))
-    return proc._derive(new_root, trace.forward_fn())
+    session = EditSession(proc)
+    session.replace((owner, attr, idx, idx + 1), new_stmts, lambda off, rest: (2, rest))
+    return session.finish()

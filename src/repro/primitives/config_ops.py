@@ -3,11 +3,11 @@
 
 from __future__ import annotations
 
-from ..cursors.forwarding import EditTrace
 from ..errors import SchedulingError
 from ..ir import nodes as N
-from ..ir.build import copy_node, get_node, map_exprs, replace_stmts, walk
+from ..ir.build import copy_node, get_node, map_exprs, walk
 from ..ir.config import Config
+from ..ir.edit import EditSession
 from ._base import (
     require,
     scheduling_primitive,
@@ -66,10 +66,9 @@ def bind_config(proc, expr, config: Config, field: str):
         return x
 
     new_stmt = map_exprs(new_stmt, repl)
-    new_root = replace_stmts(proc._root, owner, attr, idx, 1, [write, new_stmt])
-    trace = EditTrace()
-    trace.rewrite(owner, attr, idx, 1, 2, lambda off, rest: (1, rest))
-    return proc._derive(new_root, trace.forward_fn())
+    session = EditSession(proc)
+    session.replace((owner, attr, idx, idx + 1), [write, new_stmt], lambda off, rest: (1, rest))
+    return session.finish()
 
 
 @scheduling_primitive
@@ -85,10 +84,9 @@ def delete_config(proc, stmt):
         not _config_read_after(following, node.config, node.field_name),
         "delete_config: the configuration field is read by later code",
     )
-    new_root = replace_stmts(proc._root, owner, attr, idx, 1, [])
-    trace = EditTrace()
-    trace.delete(owner, attr, idx, 1)
-    return proc._derive(new_root, trace.forward_fn())
+    session = EditSession(proc)
+    session.delete((owner, attr, idx, idx + 1))
+    return session.finish()
 
 
 @scheduling_primitive
@@ -113,7 +111,6 @@ def write_config(proc, gap, config: Config, field: str, rhs):
         "write_config: the configuration field is read by later code",
     )
     stmt = N.WriteConfig(config, field, copy_node(rhs))
-    new_root = replace_stmts(proc._root, owner, attr, idx, 0, [stmt])
-    trace = EditTrace()
-    trace.insert(owner, attr, idx, 1)
-    return proc._derive(new_root, trace.forward_fn())
+    session = EditSession(proc)
+    session.insert_stmts((owner, attr, idx), [stmt])
+    return session.finish()

@@ -1,10 +1,13 @@
-"""Primitive-rewrite counting.
+"""Primitive-rewrite and atomic-edit counting.
 
 Figure 9b of the paper reports the number of primitive rewrites required to
 optimise each kernel — a proxy for what a user of plain Exo would have had to
-write by hand.  Every scheduling primitive reports itself here; the counter
-can be scoped with :class:`count_rewrites` to attribute rewrites to a specific
-kernel's scheduling run.
+write by hand.  Every scheduling primitive reports itself here, and the
+:class:`~repro.ir.edit.EditSession` engine additionally reports the number of
+*atomic edits* (Section 5.2) each transformation decomposed into, so the
+metrics reflect the real edit traffic rather than just call counts.  The
+counter can be scoped with :class:`count_rewrites` to attribute rewrites to a
+specific kernel's scheduling run.
 """
 
 from __future__ import annotations
@@ -12,11 +15,23 @@ from __future__ import annotations
 from contextlib import ContextDecorator
 from typing import Dict, List, Optional
 
-__all__ = ["record_rewrite", "count_rewrites", "global_rewrite_count", "reset_global_count"]
+__all__ = [
+    "record_rewrite",
+    "record_atomic_edits",
+    "push_current_primitive",
+    "pop_current_primitive",
+    "count_rewrites",
+    "global_rewrite_count",
+    "global_atomic_edit_count",
+    "reset_global_count",
+]
 
 
 _global_count = 0
+_global_atomic = 0
 _per_primitive: Dict[str, int] = {}
+_atomic_per_primitive: Dict[str, int] = {}
+_primitive_stack: List[str] = []
 _active_scopes: List["count_rewrites"] = []
 
 
@@ -30,27 +45,66 @@ def record_rewrite(primitive_name: str) -> None:
         scope.by_primitive[primitive_name] = scope.by_primitive.get(primitive_name, 0) + 1
 
 
+def push_current_primitive(primitive_name: str) -> None:
+    """Mark ``primitive_name`` as the running primitive (for atomic-edit
+    attribution).  Paired with :func:`pop_current_primitive` by the
+    ``@scheduling_primitive`` decorator; nesting is supported."""
+    _primitive_stack.append(primitive_name)
+
+
+def pop_current_primitive() -> None:
+    if _primitive_stack:
+        _primitive_stack.pop()
+
+
+def record_atomic_edits(n: int) -> None:
+    """Record ``n`` atomic edits finished by an :class:`EditSession`.
+
+    Edits are attributed to the primitive currently running (``<direct>``
+    for sessions opened by Procedure methods outside any primitive)."""
+    if n <= 0:
+        return
+    global _global_atomic
+    _global_atomic += n
+    name = _primitive_stack[-1] if _primitive_stack else "<direct>"
+    _atomic_per_primitive[name] = _atomic_per_primitive.get(name, 0) + n
+    for scope in _active_scopes:
+        scope.atomic_edits += n
+        scope.atomic_by_primitive[name] = scope.atomic_by_primitive.get(name, 0) + n
+
+
 def global_rewrite_count() -> int:
     return _global_count
 
 
+def global_atomic_edit_count() -> int:
+    return _global_atomic
+
+
 def reset_global_count() -> None:
-    global _global_count
+    global _global_count, _global_atomic
     _global_count = 0
+    _global_atomic = 0
     _per_primitive.clear()
+    _atomic_per_primitive.clear()
 
 
 class count_rewrites(ContextDecorator):
-    """Context manager counting primitive rewrites performed inside it."""
+    """Context manager counting primitive rewrites (and the atomic edits they
+    decompose into) performed inside it."""
 
     def __init__(self, label: Optional[str] = None):
         self.label = label
         self.total = 0
+        self.atomic_edits = 0
         self.by_primitive: Dict[str, int] = {}
+        self.atomic_by_primitive: Dict[str, int] = {}
 
     def __enter__(self) -> "count_rewrites":
         self.total = 0
+        self.atomic_edits = 0
         self.by_primitive = {}
+        self.atomic_by_primitive = {}
         _active_scopes.append(self)
         return self
 

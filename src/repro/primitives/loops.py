@@ -27,7 +27,6 @@ from ..analysis.linear import (
     prove_divisible,
     simplify_expr,
 )
-from ..cursors.forwarding import EditTrace
 from ..errors import SchedulingError
 from ..ir import nodes as N
 from ..ir.build import (
@@ -35,10 +34,10 @@ from ..ir.build import (
     collect_allocs,
     copy_node,
     copy_stmts,
-    replace_stmts,
     structurally_equal,
     substitute_reads,
 )
+from ..ir.edit import EditSession
 from ..ir.syms import Sym
 from ..ir.types import bool_t, index_t, int_t
 from ._base import (
@@ -75,11 +74,22 @@ def _read(sym: Sym) -> N.Read:
 
 
 def _replace_loop(proc, loop_cursor, new_stmts, inner_map=None):
-    owner_path, attr, idx = stmt_coords(loop_cursor)
-    new_root = replace_stmts(proc._root, owner_path, attr, idx, 1, new_stmts)
-    trace = EditTrace()
-    trace.rewrite(owner_path, attr, idx, 1, len(new_stmts), inner_map)
-    return proc._derive(new_root, trace.forward_fn())
+    session = EditSession(proc)
+    session.replace(loop_cursor, new_stmts, inner_map)
+    return session.finish()
+
+
+def _interchange_inner_map(offset, rest):
+    """Forwarding map for a perfectly nested scope interchange: cursors follow
+    the scope they pointed at (the old outer scope is now the inner one and
+    vice versa); statements of the innermost body keep their position."""
+    rest = tuple(rest)
+    if rest and rest[0] == ("body", 0):
+        inner_rest = rest[1:]
+        if inner_rest and inner_rest[0][0] in ("body", "orelse"):
+            return (0, rest)  # innermost-body statements stay put
+        return (0, inner_rest)  # the old inner scope (or its lo/hi/cond) is now outer
+    return (0, (("body", 0),) + rest)  # the old outer scope is now inner
 
 
 # ---------------------------------------------------------------------------
@@ -139,11 +149,7 @@ def reorder_loops(proc, loops, *, unsafe_disable_check: bool = False):
         inner_node.pragma,
     )
 
-    def inner_map(offset, rest):
-        # old: outer/body[0]=inner/body[k]...  ->  new: outer'/body[0]=inner'/body[k]...
-        return (offset, rest)
-
-    return _replace_loop(proc, outer, [new_outer], inner_map)
+    return _replace_loop(proc, outer, [new_outer], _interchange_inner_map)
 
 
 # ---------------------------------------------------------------------------
@@ -409,10 +415,13 @@ def join_loops(proc, loop1, loop2):
         "join_loops: the two loop bodies must be identical",
     )
     new_loop = N.For(n1.iter, copy_node(n1.lo), copy_node(n2.hi), copy_stmts(n1.body), n1.pragma)
-    new_root = replace_stmts(proc._root, owner1, attr1, idx1, 2, [new_loop])
-    trace = EditTrace()
-    trace.rewrite(owner1, attr1, idx1, 2, 1, lambda off, rest: (0, rest) if off == 0 else None)
-    return proc._derive(new_root, trace.forward_fn())
+    session = EditSession(proc)
+    session.replace(
+        (owner1, attr1, idx1, idx1 + 2),
+        [new_loop],
+        lambda off, rest: (0, rest) if off == 0 else None,
+    )
+    return session.finish()
 
 
 @scheduling_primitive
@@ -526,8 +535,6 @@ def _fission_once(proc, gap, unsafe_disable_check: bool):
         if1 = N.If(copy_node(owner.cond), copy_stmts(before), [])
         if2 = N.If(copy_node(owner.cond), alpha_rename_stmts(after), [])
         o_owner, o_attr, o_idx = owner_path[:-1], owner_path[-1][0], owner_path[-1][1]
-        new_root = replace_stmts(proc._root, o_owner, o_attr, o_idx, 1, [if1, if2])
-        trace = EditTrace()
 
         def if_inner_map(offset, rest):
             if rest and rest[0][0] == "body":
@@ -537,8 +544,9 @@ def _fission_once(proc, gap, unsafe_disable_check: bool):
                 return (1, (("body", j - idx),) + rest[1:])
             return (0, rest)
 
-        trace.rewrite(o_owner, o_attr, o_idx, 1, 2, if_inner_map)
-        new_proc = proc._derive(new_root, trace.forward_fn())
+        session = EditSession(proc)
+        session.replace((o_owner, o_attr, o_idx, o_idx + 1), [if1, if2], if_inner_map)
+        new_proc = session.finish()
         from ..cursors.cursor import GapCursor
 
         return new_proc, GapCursor(new_proc, o_owner, o_attr, o_idx + 1)
@@ -564,8 +572,6 @@ def _fission_once(proc, gap, unsafe_disable_check: bool):
     loop2 = N.For(it2, copy_node(owner.lo), copy_node(owner.hi), after_copy, owner.pragma)
 
     loop_owner_path, loop_attr, loop_idx = owner_path[:-1], owner_path[-1][0], owner_path[-1][1]
-    new_root = replace_stmts(proc._root, loop_owner_path, loop_attr, loop_idx, 1, [loop1, loop2])
-    trace = EditTrace()
 
     def inner_map(offset, rest):
         # offset is always 0 (the loop); rest navigates into the old body
@@ -576,8 +582,9 @@ def _fission_once(proc, gap, unsafe_disable_check: bool):
             return (1, (("body", j - idx),) + rest[1:])
         return (0, rest)
 
-    trace.rewrite(loop_owner_path, loop_attr, loop_idx, 1, 2, inner_map)
-    new_proc = proc._derive(new_root, trace.forward_fn())
+    session = EditSession(proc)
+    session.replace((loop_owner_path, loop_attr, loop_idx, loop_idx + 1), [loop1, loop2], inner_map)
+    new_proc = session.finish()
     from ..cursors.cursor import GapCursor
 
     # the gap between the two new loops, in the parent's statement list —
@@ -640,22 +647,19 @@ def add_loop(proc, stmt, iter_name: str, hi, *, guard: bool = False):
     require(pos is True, "add_loop: cannot prove the new loop bound is positive")
 
     it = Sym(iter_name)
-    inner: List[N.Stmt] = copy_stmts(stmts)
-    if guard:
-        inner = [N.If(N.BinOp("==", _read(it), _const(0), bool_t), inner, [])]
-    loop = N.For(it, _const(0), hi, inner, "seq")
 
-    owner_path, attr, lo, hi_idx = block._owner_path, block._attr, block._lo, block._hi
-    n_old = hi_idx - lo
-    new_root = replace_stmts(proc._root, owner_path, attr, lo, n_old, [loop])
-    trace = EditTrace()
+    def make_wrapper(inner: List[N.Stmt]) -> N.Stmt:
+        if guard:
+            inner = [N.If(N.BinOp("==", _read(it), _const(0), bool_t), inner, [])]
+        return N.For(it, _const(0), hi, inner, "seq")
 
     def inner_map(offset, rest):
         prefix = (("body", 0), ("body", offset)) if guard else (("body", offset),)
-        return (0, prefix + rest)
+        return (0, prefix + tuple(rest))
 
-    trace.rewrite(owner_path, attr, lo, n_old, 1, inner_map)
-    return proc._derive(new_root, trace.forward_fn())
+    session = EditSession(proc)
+    session.wrap(block, make_wrapper, inner_map)
+    return session.finish()
 
 
 @scheduling_primitive

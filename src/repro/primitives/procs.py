@@ -8,7 +8,6 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from ..cursors.cursor import CallCursor
-from ..cursors.forwarding import EditTrace, identity_forward
 from ..errors import SchedulingError
 from ..ir import nodes as N
 from ..ir.build import (
@@ -20,16 +19,14 @@ from ..ir.build import (
     get_node,
     map_exprs,
     map_stmts,
-    replace_stmts,
     walk,
 )
+from ..ir.edit import EditSession
 from ..ir.syms import Sym
 from ..ir.types import ScalarType, TensorType, index_t
 from ._base import (
-    block_coords,
     require,
     scheduling_primitive,
-    stmt_coords,
     to_block_cursor,
     to_gap_cursor,
     to_stmt_cursor,
@@ -53,7 +50,9 @@ def rename(proc, new_name: str):
 
     new_root = copy_node_proc(proc._root)
     new_root.name = new_name
-    return proc._derive(new_root, identity_forward)
+    session = EditSession(proc)
+    session.set_root(new_root)
+    return session.finish()
 
 
 @scheduling_primitive
@@ -67,20 +66,20 @@ def add_assertion(proc, cond):
 def insert_pass(proc, gap):
     """Insert a ``pass`` statement at a gap."""
     gap = to_gap_cursor(proc, gap)
-    owner, attr, idx = gap._owner_path, gap._attr, gap._idx
-    new_root = replace_stmts(proc._root, owner, attr, idx, 0, [N.Pass()])
-    trace = EditTrace()
-    trace.insert(owner, attr, idx, 1)
-    return proc._derive(new_root, trace.forward_fn())
+    session = EditSession(proc)
+    session.insert_stmts(gap, [N.Pass()])
+    return session.finish()
 
 
 @scheduling_primitive
 def delete_pass(proc):
     """Delete every ``pass`` statement that is not the sole statement of its block."""
-    p = proc
+    # all deletions are recorded in one transactional session, so the caller
+    # gets a single derived version with the composed forwarding function
+    session = EditSession(proc)
     while True:
         target = None
-        for owner, attr, stmts in _stmt_lists(p._root):
+        for owner, attr, stmts in _stmt_lists(session.root):
             if len(stmts) <= 1:
                 continue
             for i, s in enumerate(stmts):
@@ -90,12 +89,12 @@ def delete_pass(proc):
             if target:
                 break
         if target is None:
-            return p
+            break
         owner, attr, i = target
-        new_root = replace_stmts(p._root, owner, attr, i, 1, [])
-        trace = EditTrace()
-        trace.delete(owner, attr, i, 1)
-        p = p._derive(new_root, trace.forward_fn())
+        session.delete((owner, attr, i, i + 1))
+    if session.edit_count() == 0:
+        return proc
+    return session.finish()
 
 
 def _stmt_lists(root):
@@ -206,11 +205,9 @@ def inline(proc, call):
     body = [map_exprs(s, fix_expr) for s in body]
     body = map_stmts(body, fix_stmt)
 
-    owner, attr, idx = stmt_coords(c)
-    new_root = replace_stmts(proc._root, owner, attr, idx, 1, body)
-    trace = EditTrace()
-    trace.rewrite(owner, attr, idx, 1, len(body))
-    return proc._derive(new_root, trace.forward_fn())
+    session = EditSession(proc)
+    session.replace(c, body)
+    return session.finish()
 
 
 # ---------------------------------------------------------------------------
@@ -248,10 +245,9 @@ def call_eqv(proc, orig, new_proc, *, unsafe_disable_check: bool = False):
     call_node = get_node(proc._root, target)
     new_call = N.Call(new_proc, [copy_node(a) for a in call_node.args])
     owner, (attr, idx) = target[:-1], target[-1]
-    new_root = replace_stmts(proc._root, owner, attr, idx, 1, [new_call])
-    trace = EditTrace()
-    trace.rewrite(owner, attr, idx, 1, 1)
-    return proc._derive(new_root, trace.forward_fn())
+    session = EditSession(proc)
+    session.replace((owner, attr, idx, idx + 1), [new_call])
+    return session.finish()
 
 
 # ---------------------------------------------------------------------------
@@ -302,11 +298,9 @@ def extract_subproc(proc, block, name: str):
             call_args.append(N.Read(a.name, [], a.typ))
     call = N.Call(subproc, call_args)
 
-    owner, attr, lo, hi = block_coords(block)
-    new_root = replace_stmts(proc._root, owner, attr, lo, hi - lo, [call])
-    trace = EditTrace()
-    trace.rewrite(owner, attr, lo, hi - lo, 1, lambda off, rest: (0, ()))
-    return proc._derive(new_root, trace.forward_fn()), subproc
+    session = EditSession(proc)
+    session.replace(block, [call], lambda off, rest: (0, ()))
+    return session.finish(), subproc
 
 
 def _local_allocs(stmts):

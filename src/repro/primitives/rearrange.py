@@ -4,10 +4,10 @@
 from __future__ import annotations
 
 from ..analysis.effects import stmts_commute
-from ..cursors.forwarding import EditTrace
 from ..errors import SchedulingError
 from ..ir import nodes as N
-from ..ir.build import copy_node, get_node, replace_stmts, set_node
+from ..ir.build import copy_node
+from ..ir.edit import EditSession
 from ._base import (
     proc_fact_env,
     require,
@@ -57,16 +57,12 @@ def reorder_stmts(proc, s1, s2=None, *, unsafe_disable_check: bool = False):
             "reorder_stmts: the statements do not commute",
         )
 
-    new_root = replace_stmts(
-        proc._root, owner1, attr1, idx1, 2, [copy_node(n2), copy_node(n1)]
-    )
-    trace = EditTrace()
-
     def inner_map(offset, rest):
         return (1 - offset, rest)
 
-    trace.rewrite(owner1, attr1, idx1, 2, 2, inner_map)
-    return proc._derive(new_root, trace.forward_fn())
+    session = EditSession(proc)
+    session.replace((owner1, attr1, idx1, idx1 + 2), [copy_node(n2), copy_node(n1)], inner_map)
+    return session.finish()
 
 
 @scheduling_primitive
@@ -79,7 +75,6 @@ def commute_expr(proc, expr):
         "commute_expr: only '+' and '*' expressions can be commuted",
     )
     new_expr = N.BinOp(node.op, copy_node(node.rhs), copy_node(node.lhs), node.typ)
-    new_root = set_node(proc._root, c._path, new_expr)
-    from ..cursors.forwarding import identity_forward
-
-    return proc._derive(new_root, identity_forward)
+    session = EditSession(proc)
+    session.replace_expr(c, new_expr)
+    return session.finish()

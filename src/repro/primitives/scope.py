@@ -8,18 +8,18 @@ from typing import List, Sequence
 from ..analysis.effects import loop_iterations_commute, stmts_commute
 from ..analysis.linear import exprs_equal
 from ..cursors.cursor import BlockCursor, ForCursor, IfCursor
-from ..cursors.forwarding import EditTrace
 from ..errors import SchedulingError
 from ..ir import nodes as N
 from ..ir.build import (
     alpha_rename_stmts,
     copy_node,
     copy_stmts,
-    replace_stmts,
     structurally_equal,
     substitute_reads,
     used_syms_expr,
 )
+from ..ir.edit import EditSession
+from .loops import _interchange_inner_map
 from ..ir.types import bool_t
 from ._base import (
     block_coords,
@@ -65,16 +65,14 @@ def specialize(proc, block, conds):
 
     new_stmts = build(0)
     owner, attr, lo, hi = block_coords(block)
-    n_old = hi - lo
-    new_root = replace_stmts(proc._root, owner, attr, lo, n_old, new_stmts)
-    trace = EditTrace()
 
     def inner_map(offset, rest):
         # map into the first specialised copy
         return (0, (("body", offset),) + rest)
 
-    trace.rewrite(owner, attr, lo, n_old, len(new_stmts), inner_map)
-    return proc._derive(new_root, trace.forward_fn())
+    session = EditSession(proc)
+    session.replace((owner, attr, lo, hi), new_stmts, inner_map)
+    return session.finish()
 
 
 @scheduling_primitive
@@ -135,10 +133,9 @@ def fuse(proc, scope1, scope2, *, unsafe_disable_check: bool = False):
     else:
         raise SchedulingError("fuse: expected two loops or two if statements")
 
-    new_root = replace_stmts(proc._root, owner1, attr1, idx1, 2, [fused])
-    trace = EditTrace()
-    trace.rewrite(owner1, attr1, idx1, 2, 1, inner_map)
-    return proc._derive(new_root, trace.forward_fn())
+    session = EditSession(proc)
+    session.replace((owner1, attr1, idx1, idx1 + 2), [fused], inner_map)
+    return session.finish()
 
 
 @scheduling_primitive
@@ -175,9 +172,7 @@ def lift_scope(proc, scope, *, unsafe_disable_check: bool = False):
             )
         new_inner = N.For(parent.iter, copy_node(parent.lo), copy_node(parent.hi), copy_stmts(inner.body), parent.pragma)
         new_outer: N.Stmt = N.For(inner.iter, copy_node(inner.lo), copy_node(inner.hi), [new_inner], inner.pragma)
-
-        def inner_map(offset, rest):
-            return (0, rest)
+        inner_map = _interchange_inner_map
 
     elif isinstance(parent, N.For) and isinstance(inner, N.If):
         # for i: if e: s [else: s2]   ->   if e: for i: s [else: for i: s2]
@@ -197,8 +192,12 @@ def lift_scope(proc, scope, *, unsafe_disable_check: bool = False):
         new_outer = N.If(copy_node(inner.cond), [then_loop], orelse)
 
         def inner_map(offset, rest):
-            # old: for/body[0]=if/body[k] -> new: if/body[0]=for/body[k]
-            return (0, rest)
+            # old: for/body[0]=if/...  ->  new: if/body[0]=for/...; the old
+            # else-branch lands in the duplicated loop under the new orelse
+            rest = tuple(rest)
+            if rest[:1] == (("body", 0),) and len(rest) > 1 and rest[1][0] == "orelse":
+                return (0, (("orelse", 0), ("body", rest[1][1])) + rest[2:])
+            return _interchange_inner_map(offset, rest)
 
     elif isinstance(parent, N.If) and isinstance(inner, N.If):
         # if e: (if e2: s else: s2) else: s3   ->  if e2: (if e: s else: s3) else: (if e: s2 else: s3)
@@ -219,15 +218,11 @@ def lift_scope(proc, scope, *, unsafe_disable_check: bool = False):
         require(owner_attr == "body", "lift_scope: the loop must be in the then-branch")
         guard = N.If(copy_node(parent.cond), copy_stmts(inner.body), [])
         new_outer = N.For(inner.iter, copy_node(inner.lo), copy_node(inner.hi), [guard], inner.pragma)
-
-        def inner_map(offset, rest):
-            return (0, rest)
+        inner_map = _interchange_inner_map
 
     else:  # pragma: no cover - exhaustive above
         raise SchedulingError("lift_scope: unsupported scope combination")
 
-    owner, attr, idx = stmt_coords(parent_c)
-    new_root = replace_stmts(proc._root, owner, attr, idx, 1, [new_outer])
-    trace = EditTrace()
-    trace.rewrite(owner, attr, idx, 1, 1, inner_map)
-    return proc._derive(new_root, trace.forward_fn())
+    session = EditSession(proc)
+    session.replace(parent_c, [new_outer], inner_map)
+    return session.finish()

@@ -8,7 +8,6 @@ from typing import List, Optional
 
 from ..analysis.effects import written_buffers
 from ..analysis.linear import FactEnv, const_value, exprs_equal, prove, simplify_expr
-from ..cursors.forwarding import EditTrace, identity_forward
 from ..errors import SchedulingError
 from ..ir import nodes as N
 from ..ir.build import (
@@ -16,11 +15,10 @@ from ..ir.build import (
     copy_stmts,
     get_node,
     map_exprs,
-    replace_stmts,
-    set_node,
     substitute_reads,
     walk,
 )
+from ..ir.edit import EditSession
 from ..ir.types import bool_t
 from ._base import (
     proc_fact_env,
@@ -124,7 +122,9 @@ def simplify(proc):
     # Whole-procedure rewrites do not track fine-grained forwarding; cursors
     # into the simplified procedure keep their paths where statement structure
     # is unchanged, which the identity forward captures heuristically.
-    return proc._derive(new_root, identity_forward)
+    session = EditSession(proc)
+    session.set_root(new_root)
+    return session.finish()
 
 
 @scheduling_primitive
@@ -137,11 +137,9 @@ def eliminate_dead_code(proc, scope=None):
     node = cur._node()
     env = proc_fact_env(proc, cur._path)
     new_stmts = _simplify_stmts([node], env)
-    owner, attr, idx = stmt_coords(cur)
-    new_root = replace_stmts(proc._root, owner, attr, idx, 1, new_stmts)
-    trace = EditTrace()
-    trace.rewrite(owner, attr, idx, 1, len(new_stmts))
-    return proc._derive(new_root, trace.forward_fn())
+    session = EditSession(proc)
+    session.replace(cur, new_stmts)
+    return session.finish()
 
 
 def dce(proc):
@@ -165,8 +163,9 @@ def rewrite_expr(proc, expr, new_expr):
         exprs_equal(node, new_expr, env),
         "rewrite_expr: cannot prove the two expressions are equivalent",
     )
-    new_root = set_node(proc._root, c._path, copy_node(new_expr))
-    return proc._derive(new_root, identity_forward)
+    session = EditSession(proc)
+    session.replace_expr(c, copy_node(new_expr))
+    return session.finish()
 
 
 @scheduling_primitive
@@ -216,10 +215,9 @@ def merge_writes(proc, s1, s2=None):
                 N.BinOp("+", copy_node(n1.rhs), copy_node(n2.rhs), n1.typ),
                 n1.typ,
             )
-    new_root = replace_stmts(proc._root, owner1, attr1, idx1, 2, [merged])
-    trace = EditTrace()
-    trace.rewrite(owner1, attr1, idx1, 2, 1, lambda off, rest: (0, ()) )
-    return proc._derive(new_root, trace.forward_fn())
+    session = EditSession(proc)
+    session.replace((owner1, attr1, idx1, idx1 + 2), [merged], lambda off, rest: (0, ()))
+    return session.finish()
 
 
 @scheduling_primitive
@@ -253,12 +251,11 @@ def inline_window(proc, window_stmt):
         return e
 
     owner, attr, idx = stmt_coords(c)
-    # delete the window statement and rewrite the remainder of the procedure
-    new_root = replace_stmts(proc._root, owner, attr, idx, 1, [])
-    new_root.body = [map_exprs(s, rewrite_access) for s in new_root.body]
-    trace = EditTrace()
-    trace.delete(owner, attr, idx, 1)
-    return proc._derive(new_root, trace.forward_fn())
+    # delete the window statement, then rewrite the remainder of the procedure
+    session = EditSession(proc)
+    session.delete((owner, attr, idx, idx + 1))
+    session.set_field((), "body", [map_exprs(s, rewrite_access) for s in session.root.body])
+    return session.finish()
 
 
 @scheduling_primitive
@@ -278,7 +275,10 @@ def inline_assign(proc, assign):
     env = {node.name: node.rhs}
     new_following = [substitute_reads(s, env) for s in copy_stmts(following)]
     n_after = len(following)
-    new_root = replace_stmts(proc._root, owner, attr, idx, 1 + n_after, new_following)
-    trace = EditTrace()
-    trace.rewrite(owner, attr, idx, 1 + n_after, n_after, lambda off, rest: None if off == 0 else (off - 1, rest))
-    return proc._derive(new_root, trace.forward_fn())
+    session = EditSession(proc)
+    session.replace(
+        (owner, attr, idx, idx + 1 + n_after),
+        new_following,
+        lambda off, rest: None if off == 0 else (off - 1, rest),
+    )
+    return session.finish()

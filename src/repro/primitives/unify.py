@@ -23,10 +23,10 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..analysis.linear import exprs_equal, linearize, simplify_expr
-from ..cursors.forwarding import EditTrace
 from ..errors import SchedulingError
 from ..ir import nodes as N
-from ..ir.build import copy_node, replace_stmts, structurally_equal, used_syms_expr
+from ..ir.build import copy_node, struct_hash, structurally_equal, used_syms_expr
+from ..ir.edit import EditSession
 from ..ir.syms import Sym
 from ..ir.types import ScalarType, TensorType, index_t, int_t
 from ._base import block_coords, proc_fact_env, require, scheduling_primitive, to_block_cursor
@@ -336,10 +336,9 @@ def replace(proc, block, instr_proc):
         )
     owner, attr, lo, hi = block_coords(block)
     n_old = len(ibody)
-    new_root = replace_stmts(proc._root, owner, attr, lo, n_old, [call])
-    trace = EditTrace()
-    trace.rewrite(owner, attr, lo, n_old, 1, lambda off, rest: (0, ()))
-    return proc._derive(new_root, trace.forward_fn())
+    session = EditSession(proc)
+    session.replace((owner, attr, lo, lo + n_old), [call], lambda off, rest: (0, ()))
+    return session.finish()
 
 
 def _all_candidate_blocks(root):
@@ -352,12 +351,21 @@ def _all_candidate_blocks(root):
 @scheduling_primitive
 def replace_all(proc, instrs):
     """Replace every block that unifies with one of ``instrs`` (a single
-    instruction or a list) with the corresponding instruction call."""
+    instruction or a list) with the corresponding instruction call.
+
+    Windows that failed to unify are remembered by coordinates and structural
+    hash (see :func:`repro.ir.build.struct_hash`), so each rescan after a
+    successful replacement skips the unification attempt for every window
+    whose content is unchanged — only the edited region is re-examined."""
     if not isinstance(instrs, (list, tuple)):
         instrs = [instrs]
     p = proc
     changed = True
     guard = 0
+    # (instr id, owner_path, attr, start) -> struct hash of the window that
+    # failed there; struct_hash is content-deterministic, so the memo stays
+    # valid across rescans even though each edit flushes the per-node caches
+    failed: Dict[Tuple[int, Tuple, str, int], int] = {}
     while changed and guard < 10000:
         changed = False
         guard += 1
@@ -369,18 +377,24 @@ def replace_all(proc, instrs):
                     window = stmts[start : start + ilen]
                     if any(isinstance(s, N.Call) and s.proc is instr_proc for s in window):
                         continue
+                    key = (id(instr_proc), tuple(owner_path), attr, start)
+                    h = hash(tuple(struct_hash(s) for s in window))
+                    if failed.get(key) == h:
+                        continue
                     call = _try_unify(p, window, instr_proc, owner_path)
                     if call is not None:
                         found = (owner_path, attr, start, ilen, call)
                         break
+                    failed[key] = h
                 if found:
                     break
             if found:
                 owner_path, attr, start, ilen, call = found
-                new_root = replace_stmts(p._root, owner_path, attr, start, ilen, [call])
-                trace = EditTrace()
-                trace.rewrite(owner_path, attr, start, ilen, 1, lambda off, rest: (0, ()))
-                p = p._derive(new_root, trace.forward_fn())
+                session = EditSession(p)
+                session.replace(
+                    (owner_path, attr, start, start + ilen), [call], lambda off, rest: (0, ())
+                )
+                p = session.finish()
                 changed = True
     return p
 

@@ -1,0 +1,216 @@
+"""Forwarding composition across long primitive chains.
+
+A cursor captured against version 0 and forwarded to version N must land on
+the same node a fresh ``find`` locates in version N — for every chain of
+primitives, since the edit engine derives each step's forwarding function from
+the same atomic edits that produced the rewritten AST.  Deliberate
+invalidation cases (deleted statements) must forward to ``InvalidCursor``.
+"""
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    bind_expr,
+    delete_buffer,
+    delete_pass,
+    divide_loop,
+    fission,
+    inline_assign,
+    insert_pass,
+    lift_scope,
+    proc_from_source,
+    reorder_loops,
+    reorder_stmts,
+    stage_mem,
+    unroll_loop,
+)
+from repro.cursors import InvalidCursor, is_invalid
+
+
+def _fresh_matches(p, pattern):
+    return p.find(pattern, many=True)
+
+
+def _assert_lands_on_fresh(p, fwd, pattern):
+    """The forwarded cursor must coincide with one of the cursors a fresh
+    pattern search locates in the new version."""
+    assert fwd.is_valid(), f"cursor for {pattern!r} was unexpectedly invalidated"
+    fresh = _fresh_matches(p, pattern)
+    assert any(fwd == c for c in fresh), (
+        f"forwarded cursor for {pattern!r} does not match any fresh find:\n"
+        f"  forwarded: {fwd!r}\n  fresh: {fresh!r}"
+    )
+
+
+# ---------------------------------------------------------------------------
+# chains on gemv: divide -> reorder -> stage (bind_expr) -> unroll ...
+# ---------------------------------------------------------------------------
+
+# each entry is (steps applied in order, landmark patterns that survive the
+# chain); the landmarks are captured as cursors on v0 and the forwarded
+# cursors are checked against a fresh find on vN
+GEMV_CHAINS = [
+    # divide -> reorder
+    (
+        [
+            lambda p: divide_loop(p, "i", 8, ["io", "ii"], perfect=True),
+            lambda p: reorder_loops(p, "ii"),
+        ],
+        ["y[_] += _", "for j in _: _"],
+    ),
+    # divide -> reorder -> stage -> unroll (the running example of the issue)
+    (
+        [
+            lambda p: divide_loop(p, "i", 8, ["io", "ii"], perfect=True),
+            lambda p: reorder_loops(p, "ii"),
+            lambda p: bind_expr(p, "x[_]", "x_tmp"),
+            lambda p: unroll_loop(p, "ii"),
+        ],
+        ["y[_] += _", "for j in _: _"],
+    ),
+    # double divide -> lift (interchange); the j loop itself is divided away
+    (
+        [
+            lambda p: divide_loop(p, "i", 8, ["io", "ii"], perfect=True),
+            lambda p: divide_loop(p, "j", 8, ["jo", "ji"], perfect=True),
+            lambda p: lift_scope(p, "jo"),
+        ],
+        ["y[_] += _"],
+    ),
+    # divides with guard tails (statements nest under new Ifs)
+    (
+        [
+            lambda p: divide_loop(p, "i", 4, ["io", "ii"], tail="guard"),
+            lambda p: divide_loop(p, "j", 4, ["jo", "ji"], tail="guard"),
+        ],
+        ["y[_] += _"],
+    ),
+    # stage through a temporary (the reduction is redirected), then tile the
+    # staged loop; the enclosing i loop is the stable landmark
+    (
+        [
+            lambda p: stage_mem(p, "for j in _: _", "y[i]", "y_tmp"),
+            lambda p: divide_loop(p, "j", 8, ["jo", "ji"], perfect=True),
+        ],
+        ["for i in _: _"],
+    ),
+]
+
+
+@pytest.mark.parametrize("chain,landmarks", GEMV_CHAINS, ids=range(len(GEMV_CHAINS)))
+def test_gemv_chain_forwarding_matches_fresh_find(gemv, chain, landmarks):
+    cursors = {pat: gemv.find(pat) for pat in landmarks}
+    p = gemv
+    for step in chain:
+        p = step(p)
+    for pat, c0 in cursors.items():
+        fwd = p.forward(c0)
+        _assert_lands_on_fresh(p, fwd, pat)
+
+
+def test_chain_forwarding_is_transitive(gemv):
+    """Forwarding v0 -> vN directly equals forwarding v0 -> vk -> vN."""
+    c0 = gemv.find("y[_] += _")
+    p1 = divide_loop(gemv, "i", 8, ["io", "ii"], perfect=True)
+    c1 = p1.forward(c0)
+    p2 = reorder_loops(p1, "ii")
+    p3 = bind_expr(p2, "x[_]", "x_tmp")
+    direct = p3.forward(c0)
+    stepped = p3.forward(c1)
+    assert direct == stepped
+
+
+def test_expression_cursor_forwarding(gemv):
+    ax = gemv.find("A[_] * x[_]")
+    p = divide_loop(gemv, "i", 8, ["io", "ii"], perfect=True)
+    p = divide_loop(p, "j", 8, ["jo", "ji"], perfect=True)
+    fwd = p.forward(ax)
+    _assert_lands_on_fresh(p, fwd, "A[_] * x[_]")
+
+
+def test_block_and_gap_cursor_forwarding(stages):
+    loops = stages.find("for i in _: _", many=True)
+    block = loops[0].expand()  # the whole top-level body as a block
+    gap = loops[0].after()
+    p = divide_loop(stages, "i", 4, ["io", "ii"], tail="guard")
+    fwd_block = p.forward(block)
+    fwd_gap = p.forward(gap)
+    assert fwd_block.is_valid() and len(fwd_block) == len(block)
+    assert fwd_gap.is_valid()
+    # the gap still separates the two (now divided) loops
+    assert fwd_gap.stmt_before().is_valid() and fwd_gap.stmt_after().is_valid()
+
+
+def test_fission_then_tile_forwarding():
+    p0 = proc_from_source(
+        "def f(n: size, x: f32[n] @ DRAM, y: f32[n] @ DRAM):\n"
+        "    for i in seq(0, n):\n"
+        "        x[i] = 1.0\n"
+        "        y[i] = x[i]\n"
+    )
+    first = p0.find("x[_] = _")
+    second = p0.find("y[_] = _")
+    p = fission(p0, first.after())
+    p = divide_loop(p, "i", 4, ["io", "ii"], tail="guard")
+    _assert_lands_on_fresh(p, p.forward(first), "x[_] = _")
+    _assert_lands_on_fresh(p, p.forward(second), "y[_] = _")
+
+
+# ---------------------------------------------------------------------------
+# deliberate invalidation
+# ---------------------------------------------------------------------------
+
+
+def test_deleted_pass_invalidates_cursor(gemv):
+    loop = gemv.find_loop("j")
+    p = insert_pass(gemv, loop.body().before())
+    pass_cur = p.find("pass")
+    p2 = delete_pass(p)
+    fwd = p2.forward(pass_cur)
+    assert isinstance(fwd, InvalidCursor) and is_invalid(fwd)
+    # the other landmarks survive the deletion
+    _assert_lands_on_fresh(p2, p2.forward(loop), "for j in _: _")
+
+
+def test_inlined_assign_invalidates_cursor():
+    p0 = proc_from_source(
+        "def f(n: size, x: f32[n] @ DRAM):\n"
+        "    t: f32 @ DRAM\n"
+        "    t = 2.0\n"
+        "    for i in seq(0, n):\n"
+        "        x[i] = t\n"
+    )
+    assign = p0.find("t = _")
+    p = inline_assign(p0, assign)
+    assert is_invalid(p.forward(assign))
+
+
+def test_deleted_buffer_invalidates_cursor():
+    p0 = proc_from_source(
+        "def f(n: size, x: f32[n] @ DRAM):\n"
+        "    dead: f32 @ DRAM\n"
+        "    for i in seq(0, n):\n"
+        "        x[i] = 1.0\n"
+    )
+    alloc = p0.find("dead: _")
+    p = delete_buffer(p0, alloc)
+    assert is_invalid(p.forward(alloc))
+
+
+def test_reorder_stmts_swaps_cursors():
+    p0 = proc_from_source(
+        "def f(n: size, x: f32[n] @ DRAM, y: f32[n] @ DRAM):\n"
+        "    for i in seq(0, n):\n"
+        "        x[i] = 1.0\n"
+        "    for i in seq(0, n):\n"
+        "        y[i] = 2.0\n"
+    )
+    a, b = p0.find("for i in _: _", many=True)
+    p = reorder_stmts(p0, a, b)
+    fa, fb = p.forward(a), p.forward(b)
+    assert "x[i] = 1.0" in str(fa) and "y[i] = 2.0" in str(fb)
+    # chains keep composing after the swap
+    p2 = divide_loop(p, fa, 2, ["io", "ii"], tail="guard")
+    fa2 = p2.forward(a)
+    assert fa2.is_valid() and "x[" in str(fa2) and "y[" not in str(fa2)
