@@ -1,0 +1,158 @@
+"""Execution-engine throughput: tree interpreter vs. compiled NumPy engine.
+
+Times the two execution backends on the ISSUE-2 reference workloads —
+saxpy at n = 65536 and a 64x64x64 matmul — plus a scheduled (vectorised)
+saxpy, and verifies the acceptance criterion that the compiled engine is at
+least 50x faster on both reference kernels while agreeing with the
+interpreter on identical inputs.
+
+Emits ``BENCH_exec_throughput.json`` (interpreter vs. compiled elems/s and
+the tier-1 suite wall clock) so CI records the performance trajectory.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_exec_throughput.py [--skip-tier1]
+
+Exits non-zero if a speedup target or a cross-check fails.
+"""
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.blas import LEVEL1_KERNELS, SGEMM, optimize_level_1
+from repro.interp import compile_proc, make_random_args, run_proc
+from repro.machines import AVX2
+
+REPO = Path(__file__).resolve().parent.parent
+TARGET_SPEEDUP = 50.0
+
+
+def _time(setup, fn, repeat: int = 5, warmup: bool = True) -> float:
+    """Best-of-N timing of ``fn(setup())`` with the setup (argument copies)
+    excluded from the timed window.  ``warmup`` absorbs one-time compilation
+    for the compiled backend; the interpreter leg skips it (a multi-second
+    tree walk with nothing to warm)."""
+    if warmup:
+        fn(setup())
+    best = float("inf")
+    for _ in range(repeat):
+        args = setup()
+        t0 = time.perf_counter()
+        fn(args)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _bench(proc, size_env, elems: int, interp_repeat: int = 1):
+    """Time one kernel under both backends on identical inputs; cross-check."""
+    base = make_random_args(proc, size_env)
+
+    def fresh():
+        return {k: (v.copy() if isinstance(v, np.ndarray) else v) for k, v in base.items()}
+
+    interp_args, compiled_args = fresh(), fresh()
+    t_interp = _time(
+        fresh, lambda a: run_proc(proc, backend="interp", **a), repeat=interp_repeat, warmup=False
+    )
+    t_compiled = _time(fresh, lambda a: run_proc(proc, backend="compiled", **a), repeat=7)
+    run_proc(proc, backend="interp", **interp_args)
+    run_proc(proc, backend="compiled", **compiled_args)
+    agree = all(
+        np.allclose(compiled_args[k], interp_args[k], rtol=1e-4, atol=1e-5)
+        for k in base
+        if isinstance(base[k], np.ndarray)
+    )
+    return {
+        "sizes": size_env,
+        "elems": elems,
+        "interp_s": t_interp,
+        "compiled_s": t_compiled,
+        "interp_elems_per_s": elems / t_interp,
+        "compiled_elems_per_s": elems / t_compiled,
+        "speedup": t_interp / t_compiled,
+        "agree": bool(agree),
+    }
+
+
+def tier1_wall_clock() -> float:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = f"{REPO / 'src'}" + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    t0 = time.perf_counter()
+    res = subprocess.run(
+        [sys.executable, "-m", "pytest", "-x", "-q", "tests"],
+        cwd=REPO,
+        env=env,
+        capture_output=True,
+        text=True,
+    )
+    wall = time.perf_counter() - t0
+    if res.returncode != 0:
+        print(res.stdout[-2000:], res.stderr[-2000:])
+        raise SystemExit("tier-1 suite failed during benchmark")
+    return wall
+
+
+def main(argv) -> int:
+    skip_tier1 = "--skip-tier1" in argv
+
+    n = 65536
+    saxpy = LEVEL1_KERNELS["saxpy"]
+    results = {"saxpy_n65536": _bench(saxpy, {"n": n}, elems=n)}
+
+    gemm_elems = 64 * 64 * 64  # one scalar MAC per "element"
+    results["gemm_64x64x64"] = _bench(SGEMM, {"M": 64, "N": 64, "K": 64}, elems=gemm_elems)
+
+    sched = optimize_level_1(saxpy, "i", "f32", AVX2, 2)
+    results["saxpy_scheduled_n65536"] = _bench(sched, {"n": n}, elems=n)
+    eng = compile_proc(sched)
+    results["saxpy_scheduled_n65536"]["fallback_stmts"] = eng.fallback_stmts
+
+    out = {
+        "bench": "exec_throughput",
+        "target_speedup": TARGET_SPEEDUP,
+        "kernels": results,
+        "tier1_wall_s": None,
+    }
+    path = REPO / "BENCH_exec_throughput.json"
+    # write the throughput record first so it survives a tier-1 failure
+    path.write_text(json.dumps(out, indent=2) + "\n")
+    if not skip_tier1:
+        out["tier1_wall_s"] = tier1_wall_clock()
+        path.write_text(json.dumps(out, indent=2) + "\n")
+
+    print("=== Execution-engine throughput (interpreter vs. compiled) ===")
+    for name, r in results.items():
+        print(
+            f"  {name:28s}: interp {r['interp_elems_per_s'] / 1e6:8.2f} M elems/s | "
+            f"compiled {r['compiled_elems_per_s'] / 1e6:8.2f} M elems/s | "
+            f"{r['speedup']:7.0f}x | agree={r['agree']}"
+        )
+    if out["tier1_wall_s"] is not None:
+        print(f"  tier-1 wall clock: {out['tier1_wall_s']:.1f} s")
+    print(f"  wrote {path.name}")
+
+    failures = []
+    for name in ("saxpy_n65536", "gemm_64x64x64"):
+        if results[name]["speedup"] < TARGET_SPEEDUP:
+            failures.append(f"{name}: speedup {results[name]['speedup']:.1f}x < {TARGET_SPEEDUP}x")
+    for name, r in results.items():
+        if not r["agree"]:
+            failures.append(f"{name}: backends disagree")
+    if failures:
+        print("FAIL:", "; ".join(failures))
+        return 1
+    print("PASS: compiled engine meets the >=50x target on both reference kernels")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

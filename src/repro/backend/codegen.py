@@ -21,6 +21,7 @@ from ..ir.externs import extern_by_name
 from ..ir.memories import MemoryKind
 from ..ir.printing import expr_str
 from ..ir.types import TensorType
+from .lowering import flatten_index, row_major_strides
 
 __all__ = ["compile_to_c", "proc_to_c"]
 
@@ -58,27 +59,12 @@ def _c_expr(e: N.Expr, strides: Dict, int_ctx: bool = False) -> str:
 
 
 def _flatten_index(name, idx: List[N.Expr], strides: Dict) -> str:
-    dims = strides.get(name)
-    parts = []
-    for d, e in enumerate(idx):
-        s = dims[d] if dims and d < len(dims) else None
-        es = _c_expr(e, strides)
-        if s is None or s == "1":
-            parts.append(es)
-        else:
-            parts.append(f"({es}) * ({s})")
-    return " + ".join(parts) if parts else "0"
+    # shared flattening logic (backend.lowering), rendered with the C printer
+    return flatten_index(name, idx, strides, lambda e: _c_expr(e, strides))
 
 
 def _row_major_strides(shape: List[N.Expr]) -> List[str]:
-    out = []
-    for d in range(len(shape)):
-        rest = shape[d + 1 :]
-        if not rest:
-            out.append("1")
-        else:
-            out.append(" * ".join(f"({expr_str(e)})" for e in rest))
-    return out
+    return row_major_strides(shape, expr_str)
 
 
 class _CGen:

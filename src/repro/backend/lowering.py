@@ -1,0 +1,177 @@
+"""Lowering helpers shared by the execution backends.
+
+Two backends lower the same object IR to executable form: the C code
+generator (:mod:`repro.backend.codegen`) and the NumPy compiled execution
+engine (:mod:`repro.interp.compile`).  Both need the same structural
+analyses — row-major stride computation, multi-dimensional index flattening,
+affine-in-one-iterator decomposition (the basis of loop vectorisation) and a
+conservative non-negativity check used to elide bounds guards.  They differ
+only in how expressions are *rendered* (C source vs Python source), so every
+helper here takes a ``render`` callback instead of hard-coding a syntax.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..ir import nodes as N
+from ..ir.build import contains_sym
+from ..ir.syms import Sym
+from ..ir.types import ScalarType, TensorType
+
+__all__ = [
+    "NP_DTYPES",
+    "np_dtype_for",
+    "row_major_strides",
+    "flatten_index",
+    "affine_decompose",
+    "provably_nonneg",
+]
+
+
+# NumPy element types used to *execute* object-code buffers.  Narrow integer
+# types are interpreted widely (quantisation is handled by externs) and f16 at
+# f32 precision, exactly as the reference interpreter documents.
+NP_DTYPES = {
+    "f16": np.float32,
+    "f32": np.float32,
+    "f64": np.float64,
+    "i8": np.int32,
+    "i16": np.int32,
+    "i32": np.int32,
+}
+
+
+def np_dtype_for(typ) -> np.dtype:
+    """The NumPy dtype backing an object-language scalar or tensor type."""
+    base = typ.basetype() if isinstance(typ, TensorType) else typ
+    return np.dtype(NP_DTYPES.get(base.name, np.float64))
+
+
+def row_major_strides(shape: Sequence[N.Expr], render: Callable[[N.Expr], str]) -> List[str]:
+    """Render the row-major strides of a dense tensor shape.
+
+    The innermost dimension has stride ``"1"``; outer dimensions multiply the
+    rendered extents of everything to their right.
+    """
+    out: List[str] = []
+    for d in range(len(shape)):
+        rest = shape[d + 1 :]
+        if not rest:
+            out.append("1")
+        else:
+            out.append(" * ".join(f"({render(e)})" for e in rest))
+    return out
+
+
+def flatten_index(
+    name,
+    idx: Sequence[N.Expr],
+    strides: Dict,
+    render: Callable[[N.Expr], str],
+) -> str:
+    """Render a multi-dimensional access as a flat row-major offset.
+
+    ``strides`` maps buffer names to their rendered per-dimension strides (as
+    produced by :func:`row_major_strides`); unknown dimensions are treated as
+    stride 1.
+    """
+    dims = strides.get(name)
+    parts: List[str] = []
+    for d, e in enumerate(idx):
+        s = dims[d] if dims and d < len(dims) else None
+        es = render(e)
+        if s is None or s == "1":
+            parts.append(es)
+        else:
+            parts.append(f"({es}) * ({s})")
+    return " + ".join(parts) if parts else "0"
+
+
+# ---------------------------------------------------------------------------
+# Affine decomposition (the analysis behind loop vectorisation)
+# ---------------------------------------------------------------------------
+
+
+def _is_const_int(e) -> bool:
+    return isinstance(e, N.Const) and isinstance(e.val, (int, np.integer)) and not isinstance(e.val, bool)
+
+
+def affine_decompose(e: N.Expr, ivar: Sym) -> Optional[Tuple[int, Optional[N.Expr]]]:
+    """Decompose ``e`` as ``coeff * ivar + offset``.
+
+    Returns ``(coeff, offset)`` where ``coeff`` is a constant Python int and
+    ``offset`` is an IR expression free of ``ivar`` (``None`` stands for 0), or
+    ``None`` when ``e`` is not affine in ``ivar`` with a constant coefficient.
+    The offset expressions built here are throwaway analysis artefacts — they
+    are never spliced back into a program tree.
+    """
+    if isinstance(e, N.Const):
+        return (0, e)
+    if isinstance(e, N.Read) and not e.idx:
+        if e.name is ivar:
+            return (1, None)
+        return (0, e)
+    if isinstance(e, N.USub):
+        sub = affine_decompose(e.arg, ivar)
+        if sub is None:
+            return None
+        c, off = sub
+        return (-c, None if off is None else N.USub(off))
+    if isinstance(e, N.BinOp):
+        if e.op in ("+", "-"):
+            l = affine_decompose(e.lhs, ivar)
+            r = affine_decompose(e.rhs, ivar)
+            if l is None or r is None:
+                return None
+            (cl, ol), (cr, orr) = l, r
+            c = cl + cr if e.op == "+" else cl - cr
+            if orr is None:
+                off = ol
+            elif ol is None:
+                off = orr if e.op == "+" else N.USub(orr)
+            else:
+                off = N.BinOp(e.op, ol, orr)
+            return (c, off)
+        if e.op == "*":
+            l = affine_decompose(e.lhs, ivar)
+            r = affine_decompose(e.rhs, ivar)
+            if l is None or r is None:
+                return None
+            (cl, ol), (cr, orr) = l, r
+            if cl == 0 and cr == 0:
+                return (0, e)
+            # exactly one side depends on ivar; the other must be a constant
+            # for the coefficient to stay constant
+            if cl != 0 and cr == 0 and _is_const_int(e.rhs):
+                k = int(e.rhs.val)
+                return (cl * k, None if ol is None else N.BinOp("*", ol, e.rhs))
+            if cr != 0 and cl == 0 and _is_const_int(e.lhs):
+                k = int(e.lhs.val)
+                return (cr * k, None if orr is None else N.BinOp("*", e.lhs, orr))
+            return None
+        # division / modulo / comparisons only allowed when ivar-free
+        if not contains_sym(e, ivar):
+            return (0, e)
+        return None
+    if not contains_sym(e, ivar):
+        return (0, e)
+    return None
+
+
+def provably_nonneg(e: N.Expr, nonneg_syms: Set[Sym]) -> bool:
+    """Conservatively decide whether ``e`` always evaluates >= 0.
+
+    ``nonneg_syms`` holds symbols known non-negative (``size`` arguments and
+    loop iterators whose lower bound is itself provably non-negative).  Used by
+    the compiled engine to elide negative-index guards on hot accesses.
+    """
+    if isinstance(e, N.Const):
+        return isinstance(e.val, (int, float, np.integer, np.floating)) and e.val >= 0
+    if isinstance(e, N.Read) and not e.idx:
+        return e.name in nonneg_syms
+    if isinstance(e, N.BinOp) and e.op in ("+", "*", "/", "%"):
+        return provably_nonneg(e.lhs, nonneg_syms) and provably_nonneg(e.rhs, nonneg_syms)
+    return False

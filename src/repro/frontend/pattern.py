@@ -19,6 +19,7 @@ block matches.
 from __future__ import annotations
 
 import ast
+import functools
 from dataclasses import dataclass
 from typing import List, Optional, Tuple, Union
 
@@ -58,8 +59,15 @@ def _strip_occurrence(pattern: str) -> Tuple[str, Optional[int]]:
     return pattern.strip(), None
 
 
+@functools.lru_cache(maxsize=1024)
 def parse_pattern(pattern: str):
-    """Parse a pattern string into (list-of-stmt-patterns | expr-pattern, occurrence)."""
+    """Parse a pattern string into (list-of-stmt-patterns | expr-pattern, occurrence).
+
+    Memoised: ``Procedure.find`` re-runs the same pattern strings constantly
+    (every scheduling-library call site), and ``ast.parse`` dominates the cost
+    of small searches.  The returned Python ``ast`` nodes are shared between
+    calls; matching only ever reads them.
+    """
     body, occurrence = _strip_occurrence(pattern)
     try:
         tree = ast.parse(body)

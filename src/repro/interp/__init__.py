@@ -1,5 +1,35 @@
-"""Object-language interpreter (numpy-backed reference semantics)."""
+"""Object-language execution engines.
 
-from .interpreter import InterpError, check_equiv, make_random_args, run_proc
+Two backends share one semantics: the tree-walking reference interpreter
+(:mod:`repro.interp.interpreter`) and the NumPy compiled execution engine
+(:mod:`repro.interp.compile`).  ``run_proc``/``check_equiv`` default to the
+compiled engine with automatic fallback to the interpreter; pass
+``backend="interp"`` for the reference semantics or ``backend="differential"``
+to cross-check both.
+"""
 
-__all__ = ["InterpError", "check_equiv", "make_random_args", "run_proc"]
+from .compile import CompileError, CompiledProc, clear_compile_cache, compile_proc, compiled_source
+from .interpreter import (
+    DifferentialError,
+    InterpError,
+    check_equiv,
+    default_backend,
+    make_random_args,
+    run_proc,
+    set_default_backend,
+)
+
+__all__ = [
+    "InterpError",
+    "DifferentialError",
+    "CompileError",
+    "CompiledProc",
+    "check_equiv",
+    "make_random_args",
+    "run_proc",
+    "compile_proc",
+    "compiled_source",
+    "clear_compile_cache",
+    "default_backend",
+    "set_default_backend",
+]

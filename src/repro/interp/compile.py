@@ -1,0 +1,1059 @@
+"""Compiled execution engine: lower object code to NumPy and run it natively.
+
+The reference interpreter (:mod:`repro.interp.interpreter`) re-dispatches on
+every IR node of every iteration — ~0.3M scalar ops/s — which pins functional
+equivalence checks to toy sizes.  This module instead *compiles* a procedure
+once: the object code is lowered to generated Python source in which
+
+* loop nests become ``range`` loops,
+* innermost loops whose bodies are assignments/reductions with dense affine
+  accesses are vectorised into whole-array NumPy statements
+  (``y[0:n] += alpha * x[0:n]``), with loop-carried scalars expanded into
+  vector temporaries and invariant-index reductions turned into ``.sum()``,
+* calls compile recursively (``@instr`` bodies run as compiled NumPy, which is
+  how scheduled kernels keep their speed), and
+* windows become NumPy views.
+
+The generated source is ``exec``-ed once and the callable cached.
+
+Backend selection and fallback rules
+------------------------------------
+``run_proc(..., backend=...)`` selects the engine: ``"compiled"`` (the
+default), ``"interp"`` (the tree-walking reference), or ``"differential"``
+(run both and cross-check every tensor argument).  Within the compiled
+engine, any *statement* the lowerer cannot handle (exotic window shapes,
+uncompilable callees, constructs added to the IR later) automatically falls
+back to the tree interpreter for just that statement: the generated code
+packages the in-scope environment into a symbol dict, executes the original
+statement node through ``_Interp.exec_stmt``, and writes scalar results back.
+If a whole procedure cannot be lowered, ``run_proc`` silently runs the tree
+interpreter instead, so ``backend="compiled"`` is always safe to request.
+
+Semantics parity
+----------------
+The scalar lowering mirrors the interpreter operation-for-operation (same
+NumPy scalar arithmetic, same integer-division rule, same dtype rounding on
+scalar allocations); vectorised elementwise statements are bit-identical to
+the sequential loop.  Only invariant-index reductions differ: NumPy's pairwise
+summation reorders floating-point addition, which stays well within
+``check_equiv`` tolerances (and is usually *more* accurate).  Negative buffer
+indices raise :class:`InterpError` in both engines; positive out-of-bounds
+accesses surface as :class:`InterpError` via NumPy's ``IndexError`` (checked
+up front, per loop, for vectorised slices).  Like Exo's C backend, the engine
+assumes distinct buffer arguments do not alias.
+
+Caching
+-------
+Compiled callables are cached keyed by the PR-1 structural hash
+(:func:`repro.ir.build.struct_hash`) plus an alpha-identity signature (the
+order of first occurrence of each distinct symbol, since ``struct_hash``
+compares symbols by name only) plus an argument-type token (``struct_hash``
+ignores ``FnArg`` types, but guard elision depends on them).  The cache is
+flushed lazily whenever the edit engine has bumped the global mutation epoch
+since the last compile, so no entry can outlive an in-place tree mutation;
+within an epoch, structurally identical procedures (e.g. one ``@instr``
+called from many scheduled kernels) share one compiled callable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..backend.lowering import affine_decompose, np_dtype_for, provably_nonneg
+from ..errors import ExoError
+from ..ir import nodes as N
+from ..ir.build import collect_syms_written, struct_hash, used_syms_expr, walk
+from ..ir.externs import extern_by_name
+from ..ir.syms import Sym
+from ..ir.types import ScalarType, TensorType
+from .interpreter import InterpError, _Interp
+
+__all__ = [
+    "CompileError",
+    "CompiledProc",
+    "compile_proc",
+    "compiled_source",
+    "clear_compile_cache",
+]
+
+
+class CompileError(ExoError):
+    """The procedure cannot be lowered to NumPy at all (the caller should run
+    the tree interpreter instead)."""
+
+
+class _CannotLower(Exception):
+    """Internal: this statement needs the per-statement interpreter fallback."""
+
+
+class _NoVec(Exception):
+    """Internal: this loop cannot be vectorised; use the scalar lowering."""
+
+
+# ---------------------------------------------------------------------------
+# Runtime support referenced from generated code
+# ---------------------------------------------------------------------------
+
+
+def _rt_oob(buf: str, detail: str = "negative index") -> None:
+    raise InterpError(f"out-of-bounds access to {buf} ({detail})")
+
+
+def _intlike(v) -> bool:
+    if isinstance(v, (bool, int, np.integer)):
+        return True
+    return isinstance(v, np.ndarray) and v.dtype.kind in "bui"
+
+
+def _rt_div(a, b):
+    """Object-language division: floor for integer operands, true otherwise
+    (elementwise for arrays) — the interpreter's ``_binop`` rule."""
+    if _intlike(a) and _intlike(b):
+        return a // b
+    return a / b
+
+
+def _rt_stride(arr, dim: int) -> int:
+    if not isinstance(arr, np.ndarray) or arr.ndim == 0:
+        return 1
+    return arr.strides[dim] // arr.itemsize
+
+
+def _rt_astensor(v):
+    return v if isinstance(v, np.ndarray) else np.asarray(v)
+
+
+class _RunContext:
+    """Per-execution state shared by a compiled procedure, its compiled
+    callees, and any per-statement interpreter fallbacks (one config-state
+    dict for everybody)."""
+
+    __slots__ = ("interp",)
+
+    def __init__(self, config_state: Optional[Dict] = None):
+        self.interp = _Interp(config_state)
+
+    def fb(self, stmt: N.Stmt, env: Dict[Sym, object]) -> None:
+        """Execute one original statement node through the tree interpreter."""
+        self.interp.exec_stmt(stmt, env)
+
+    def cfg_read(self, key, label: str):
+        state = self.interp.config_state
+        if key not in state:
+            raise InterpError(f"read of configuration field {label} before any write")
+        return state[key]
+
+
+class CompiledProc:
+    """A procedure lowered to a Python/NumPy callable.
+
+    ``source`` is the generated Python text (useful for debugging and tested
+    directly), ``fallback_stmts`` counts statements that run through the tree
+    interpreter, ``vector_loops`` counts loops lowered to whole-array NumPy
+    statements.
+    """
+
+    __slots__ = ("name", "source", "fn", "fallback_stmts", "vector_loops")
+
+    def __init__(self, name: str, source: str, fn, fallback_stmts: int, vector_loops: int):
+        self.name = name
+        self.source = source
+        self.fn = fn
+        self.fallback_stmts = fallback_stmts
+        self.vector_loops = vector_loops
+
+    def run(self, ctx: _RunContext, argvals: Sequence[object]) -> None:
+        try:
+            self.fn(ctx, *argvals)
+        except IndexError as exc:
+            raise InterpError(f"out-of-bounds access while executing compiled {self.name}: {exc}") from exc
+
+
+# ---------------------------------------------------------------------------
+# Cache
+# ---------------------------------------------------------------------------
+
+_CACHE: Dict[Tuple[int, int, int], CompiledProc] = {}
+_CACHE_EPOCH = [N.mutation_epoch()]
+_CACHE_LIMIT = 512
+_IN_PROGRESS: Set[int] = set()
+
+
+def _alias_sig(root: N.ProcDef) -> int:
+    """Hash of the first-occurrence order of each distinct symbol.
+
+    ``struct_hash`` compares symbols by *name*; two trees can hash equally yet
+    bind same-named symbols differently.  Combining the hash with this
+    signature makes the cache key alpha-exact.  Memoised per mutation epoch on
+    the root (roots are never mutated in place between epoch bumps).
+    """
+    cached = getattr(root, "_alias_sig_cache", None)
+    epoch = N.mutation_epoch()
+    if cached is not None and cached[0] == epoch:
+        return cached[1]
+    first: Dict[Sym, int] = {}
+
+    def key_of(sym: Sym) -> int:
+        if sym not in first:
+            first[sym] = len(first)
+        return first[sym]
+
+    sig: List[int] = []
+    for a in root.args:
+        sig.append(key_of(a.name))
+    for n, _ in walk(root):
+        if isinstance(n, (N.Read, N.WindowExpr, N.StrideExpr, N.Assign, N.Reduce, N.Alloc, N.WindowStmt)):
+            sig.append(key_of(n.name))
+        elif isinstance(n, N.For):
+            sig.append(key_of(n.iter))
+    h = hash(tuple(sig))
+    root._alias_sig_cache = (epoch, h)
+    return h
+
+
+def _arg_type_token(root: N.ProcDef) -> int:
+    """Hash of the declared argument types.
+
+    ``struct_hash`` deliberately ignores expression result types (and with
+    them ``FnArg.typ``), but the compiled code *does* depend on them — e.g. a
+    ``size`` argument elides negative-index guards that an ``index`` argument
+    must keep — so argument types are a separate cache-key component.
+    """
+    parts: List[object] = []
+    for a in root.args:
+        t = a.typ
+        if isinstance(t, TensorType):
+            parts.append(("t", t.base.name, t.is_window, tuple(struct_hash(e) for e in t.shape)))
+        else:
+            parts.append(("s", t.name))
+    return hash(tuple(parts))
+
+
+def compile_proc(procedure) -> CompiledProc:
+    """Compile a :class:`Procedure` (or raw ``ProcDef``) to NumPy, memoised.
+
+    Raises :class:`CompileError` when the procedure cannot be lowered at all.
+    """
+    root = getattr(procedure, "_root", procedure)
+    # the documented contract: an epoch bump (one per atomic edit) invalidates
+    # the cache, so entries can never outlive an in-place tree mutation.
+    # Bumps happen while *scheduling*, compilation while *running*, so this
+    # rarely discards a warm cache mid-test.
+    epoch = N.mutation_epoch()
+    if _CACHE_EPOCH[0] != epoch:
+        _CACHE.clear()
+        _CACHE_EPOCH[0] = epoch
+    key = (struct_hash(root), _alias_sig(root), _arg_type_token(root))
+    hit = _CACHE.get(key)
+    if hit is not None:
+        return hit
+    if id(root) in _IN_PROGRESS:
+        raise CompileError(f"recursive call cycle through {root.name}")
+    _IN_PROGRESS.add(id(root))
+    try:
+        engine = _Lowerer(root).compile()
+    except CompileError:
+        raise
+    except Exception as exc:  # defensive: never let lowering bugs kill a run
+        raise CompileError(f"cannot lower {root.name}: {type(exc).__name__}: {exc}") from exc
+    finally:
+        _IN_PROGRESS.discard(id(root))
+    if len(_CACHE) >= _CACHE_LIMIT:
+        _CACHE.clear()
+    _CACHE[key] = engine
+    return engine
+
+
+def compiled_source(procedure) -> str:
+    """The generated Python source for a procedure (compiles if needed)."""
+    return compile_proc(procedure).source
+
+
+def clear_compile_cache() -> None:
+    _CACHE.clear()
+
+
+# ---------------------------------------------------------------------------
+# Lowering
+# ---------------------------------------------------------------------------
+
+
+def _sanitize(name: str) -> str:
+    return "".join(c if c.isalnum() or c == "_" else "_" for c in name) or "v"
+
+
+def _free_syms(s: N.Stmt) -> Set[Sym]:
+    """Symbols a statement needs from the enclosing scope (reads, writes and
+    shape references, minus anything the statement itself binds)."""
+    free: Set[Sym] = set()
+    bound: Set[Sym] = set()
+    for n, _ in walk(s):
+        if isinstance(n, (N.Read, N.WindowExpr, N.StrideExpr)):
+            free.add(n.name)
+        elif isinstance(n, (N.Assign, N.Reduce)):
+            free.add(n.name)
+        elif isinstance(n, N.Alloc):
+            bound.add(n.name)
+            if isinstance(n.typ, TensorType):
+                for e in n.typ.shape:
+                    free |= used_syms_expr(e)
+        elif isinstance(n, N.For):
+            bound.add(n.iter)
+        elif isinstance(n, N.WindowStmt):
+            bound.add(n.name)
+    return free - bound
+
+
+class _Vec:
+    """A lowered sub-expression inside a vectorised loop body."""
+
+    __slots__ = ("src", "vec", "atom")
+
+    def __init__(self, src: str, vec: bool, atom: bool = False):
+        self.src = src
+        self.vec = vec  # does it evaluate to a whole-array value?
+        self.atom = atom  # may it be a *view* of a buffer (needs copy on bind)?
+
+
+class _Lowerer:
+    def __init__(self, root: N.ProcDef):
+        self.root = root
+        self.lines: List[str] = []
+        self.indent = 1
+        self.consts: List[object] = []
+        self.const_ix: Dict[int, int] = {}
+        self.bound: Dict[Sym, Tuple[str, str]] = {}  # sym -> (pyname, kind)
+        self.window_base: Dict[Sym, Sym] = {}  # window sym -> root base buffer
+        self.scalar_cast: Dict[Sym, int] = {}  # alloc'd scalars: const-ix of np type
+        self.nonneg: Set[Sym] = set()
+        self.cells: Set[Sym] = set()
+        self.ntemp = 0
+        self.n_fallback = 0
+        self.n_vec = 0
+
+    # -- small utilities ---------------------------------------------------------
+
+    def emit(self, line: str) -> None:
+        self.lines.append("    " * self.indent + line)
+
+    def temp(self) -> str:
+        self.ntemp += 1
+        return f"__t{self.ntemp}"
+
+    def const(self, obj) -> int:
+        ix = self.const_ix.get(id(obj))
+        if ix is None:
+            ix = len(self.consts)
+            self.consts.append(obj)
+            self.const_ix[id(obj)] = ix
+        return ix
+
+    def bind(self, sym: Sym, kind: str) -> str:
+        if sym in self.bound:
+            name = self.bound[sym][0]
+            self.bound[sym] = (name, kind)
+            return name
+        name = f"{_sanitize(sym.name)}_{len(self.bound)}"
+        self.bound[sym] = (name, kind)
+        return name
+
+    # -- entry -------------------------------------------------------------------
+
+    def compile(self) -> CompiledProc:
+        root = self.root
+        self.cells = self._find_cell_syms(root)
+        params: List[str] = []
+        for a in root.args:
+            if isinstance(a.typ, TensorType):
+                kind = "tensor"
+            elif a.typ.is_indexable():
+                kind = "index"
+            else:
+                kind = "scalar"
+            params.append(self.bind(a.name, kind))
+            if isinstance(a.typ, ScalarType) and a.typ.name == "size":
+                self.nonneg.add(a.name)
+        self.lower_stmts(root.body)
+        if not self.lines:
+            self.emit("pass")
+        source = f"def __kernel(__ctx, {', '.join(params)}):\n" + "\n".join(self.lines)
+        ns = {
+            "np": np,
+            "__K": self.consts,
+            "_oob": _rt_oob,
+            "_div": _rt_div,
+            "_stride": _rt_stride,
+            "_astensor": _rt_astensor,
+        }
+        code = compile(source, f"<repro.compiled:{root.name}>", "exec")
+        exec(code, ns)
+        return CompiledProc(root.name, source, ns["__kernel"], self.n_fallback, self.n_vec)
+
+    @staticmethod
+    def _find_cell_syms(root: N.ProcDef) -> Set[Sym]:
+        """Scalar allocations that must be represented as 0-d arrays because
+        they are windowed, strided, or passed to a tensor parameter."""
+        scalars = set()
+        for n, _ in walk(root):
+            if isinstance(n, N.Alloc) and isinstance(n.typ, ScalarType):
+                scalars.add(n.name)
+        cells: Set[Sym] = set()
+        for n, _ in walk(root):
+            if isinstance(n, (N.WindowExpr, N.StrideExpr)) and n.name in scalars:
+                cells.add(n.name)
+            elif isinstance(n, N.Call):
+                cdef = getattr(n.proc, "_root", n.proc)
+                for fa, actual in zip(cdef.args, n.args):
+                    if (
+                        isinstance(fa.typ, TensorType)
+                        and isinstance(actual, N.Read)
+                        and not actual.idx
+                        and actual.name in scalars
+                    ):
+                        cells.add(actual.name)
+        return cells
+
+    # -- statements --------------------------------------------------------------
+
+    def lower_stmts(self, stmts: Sequence[N.Stmt]) -> None:
+        for s in stmts:
+            mark = len(self.lines)
+            try:
+                self.lower_stmt(s)
+            except _CannotLower:
+                del self.lines[mark:]
+                self.emit_fallback(s)
+
+    def lower_stmt(self, s: N.Stmt) -> None:
+        if isinstance(s, (N.Assign, N.Reduce)):
+            self.stmt_assign(s, aug=isinstance(s, N.Reduce))
+        elif isinstance(s, N.Alloc):
+            self.stmt_alloc(s)
+        elif isinstance(s, N.For):
+            self.stmt_for(s)
+        elif isinstance(s, N.If):
+            self.stmt_if(s)
+        elif isinstance(s, N.Pass):
+            self.emit("pass")
+        elif isinstance(s, N.Call):
+            self.stmt_call(s)
+        elif isinstance(s, N.WindowStmt):
+            src = self.window_expr(s.rhs)
+            base = self.window_base.get(s.rhs.name, s.rhs.name)
+            self.emit(f"{self.bind(s.name, 'tensor')} = {src}")
+            self.window_base[s.name] = base
+        elif isinstance(s, N.WriteConfig):
+            key = self.const((id(s.config), s.field_name))
+            rhs = self.value_expr(s.rhs)
+            self.emit(f"__ctx.interp.config_state[__K[{key}]] = {rhs}")
+        else:
+            raise _CannotLower(type(s).__name__)
+
+    def guarded_indices(self, buf_sym: Sym, idx_exprs: Sequence[N.Expr]) -> List[str]:
+        """Render scalar index expressions, inserting a negative-index guard
+        for any index that is not provably non-negative (positive overflow is
+        caught by NumPy's own IndexError)."""
+        srcs: List[str] = []
+        guards: List[str] = []
+        for e in idx_exprs:
+            src = self.int_expr(e)
+            if provably_nonneg(e, self.nonneg):
+                srcs.append(src)
+            else:
+                t = self.temp()
+                self.emit(f"{t} = {src}")
+                guards.append(t)
+                srcs.append(t)
+        if guards:
+            cond = " or ".join(f"{g} < 0" for g in guards)
+            self.emit(f"if {cond}:")
+            self.emit(f"    _oob({buf_sym.name!r})")
+        return srcs
+
+    def stmt_assign(self, s, aug: bool) -> None:
+        info = self.bound.get(s.name)
+        if info is None:
+            raise _CannotLower("write to unbound symbol")
+        name, kind = info
+        if kind in ("tensor", "cell"):
+            if s.idx:
+                idxs = self.guarded_indices(s.name, s.idx)
+                target = f"{name}[{', '.join(idxs)}]"
+            else:
+                target = f"{name}[()]"
+            rhs = self.value_expr(s.rhs)
+            self.emit(f"{target} {'+=' if aug else '='} {rhs}")
+            return
+        # plain scalar (or index) local / argument
+        if s.idx:
+            raise _CannotLower("indexed write to scalar")
+        rhs = self.value_expr(s.rhs)
+        expr = f"{name} + ({rhs})" if aug else rhs
+        cast = self.scalar_cast.get(s.name)
+        if cast is not None:
+            # mirror the interpreter's dtype rounding on scalar allocations
+            expr = f"__K[{cast}]({expr})"
+        self.emit(f"{name} = {expr}")
+
+    def stmt_alloc(self, s: N.Alloc) -> None:
+        if isinstance(s.typ, TensorType):
+            name = self.bind(s.name, "tensor")
+            dt = self.const(np_dtype_for(s.typ).type)
+            dims = "".join(f"int({self.int_expr(d)}), " for d in s.typ.shape)
+            self.emit(f"{name} = np.zeros(({dims}), dtype=__K[{dt}])")
+            return
+        dt_type = np_dtype_for(s.typ).type
+        if s.name in self.cells:
+            name = self.bind(s.name, "cell")
+            self.emit(f"{name} = np.zeros((), dtype=__K[{self.const(dt_type)}])")
+            return
+        name = self.bind(s.name, "scalar")
+        self.scalar_cast[s.name] = self.const(dt_type)
+        zero = "0.0" if np.dtype(dt_type).kind == "f" else "0"
+        self.emit(f"{name} = {zero}")
+
+    def stmt_for(self, s: N.For) -> None:
+        lo_t, hi_t = self.temp(), self.temp()
+        self.emit(f"{lo_t} = int({self.int_expr(s.lo)})")
+        self.emit(f"{hi_t} = int({self.int_expr(s.hi)})")
+        if self._try_vectorize(s, lo_t, hi_t):
+            self.n_vec += 1
+            return
+        name = self.bind(s.iter, "index")
+        if provably_nonneg(s.lo, self.nonneg):
+            self.nonneg.add(s.iter)
+        else:
+            self.nonneg.discard(s.iter)
+        self.emit(f"for {name} in range({lo_t}, {hi_t}):")
+        self.indent += 1
+        mark = len(self.lines)
+        self.lower_stmts(s.body)
+        if len(self.lines) == mark:
+            self.emit("pass")
+        self.indent -= 1
+
+    def stmt_if(self, s: N.If) -> None:
+        cond = self.value_expr(s.cond)
+        self.emit(f"if {cond}:")
+        self.indent += 1
+        mark = len(self.lines)
+        self.lower_stmts(s.body)
+        if len(self.lines) == mark:
+            self.emit("pass")
+        self.indent -= 1
+        if s.orelse:
+            self.emit("else:")
+            self.indent += 1
+            mark = len(self.lines)
+            self.lower_stmts(s.orelse)
+            if len(self.lines) == mark:
+                self.emit("pass")
+            self.indent -= 1
+
+    def stmt_call(self, s: N.Call) -> None:
+        cdef = getattr(s.proc, "_root", s.proc)
+        try:
+            callee = compile_proc(cdef)
+        except CompileError as exc:
+            raise _CannotLower(str(exc)) from None
+        args_src = ["__ctx"]
+        for fa, actual in zip(cdef.args, s.args):
+            if isinstance(fa.typ, TensorType):
+                args_src.append(self.tensor_arg_expr(actual))
+            else:
+                args_src.append(self.value_expr(actual))
+        self.emit(f"__K[{self.const(callee.fn)}]({', '.join(args_src)})")
+
+    def tensor_arg_expr(self, actual: N.Expr) -> str:
+        if isinstance(actual, N.Read) and not actual.idx:
+            info = self.bound.get(actual.name)
+            if info is None:
+                raise _CannotLower("unbound tensor argument")
+            if info[1] in ("tensor", "cell"):
+                return info[0]
+            raise _CannotLower("scalar passed as tensor argument")
+        if isinstance(actual, N.WindowExpr):
+            return self.window_expr(actual)
+        return f"_astensor({self.value_expr(actual)})"
+
+    def emit_fallback(self, s: N.Stmt) -> None:
+        """Per-construct fallback: run the original statement node through the
+        tree interpreter with the current in-scope environment."""
+        self.n_fallback += 1
+        free = _free_syms(s)
+        missing = [sym for sym in free if sym not in self.bound]
+        if missing:
+            raise CompileError(
+                f"{self.root.name}: statement references out-of-scope symbols {missing}"
+            )
+        pairs = [
+            f"__K[{self.const(sym)}]: {info[0]}"
+            for sym, info in self.bound.items()
+            if sym in free
+        ]
+        env = self.temp()
+        self.emit(f"{env} = {{{', '.join(pairs)}}}")
+        self.emit(f"__ctx.fb(__K[{self.const(s)}], {env})")
+        if isinstance(s, N.Alloc):
+            kind = "tensor" if isinstance(s.typ, TensorType) else "cell"
+            self.emit(f"{self.bind(s.name, kind)} = {env}[__K[{self.const(s.name)}]]")
+        elif isinstance(s, N.WindowStmt):
+            self.emit(f"{self.bind(s.name, 'tensor')} = {env}[__K[{self.const(s.name)}]]")
+            if s.rhs is not None:
+                self.window_base[s.name] = self.window_base.get(s.rhs.name, s.rhs.name)
+        else:
+            for sym in collect_syms_written(s):
+                info = self.bound.get(sym)
+                if info is not None and info[1] in ("scalar", "index"):
+                    self.emit(f"{info[0]} = {env}[__K[{self.const(sym)}]]")
+
+    # -- expressions (scalar contexts) --------------------------------------------
+
+    def int_expr(self, e: N.Expr) -> str:
+        return self._expr(e, int_ctx=True)
+
+    def value_expr(self, e: N.Expr) -> str:
+        return self._expr(e, int_ctx=False)
+
+    def _expr(self, e: N.Expr, int_ctx: bool) -> str:
+        if isinstance(e, N.Const):
+            if isinstance(e.val, bool):
+                return "True" if e.val else "False"
+            return repr(e.val)
+        if isinstance(e, N.Read):
+            info = self.bound.get(e.name)
+            if info is None:
+                raise _CannotLower(f"read of unbound symbol {e.name}")
+            name, kind = info
+            if kind == "tensor":
+                if not e.idx:
+                    return name
+                idxs = self.guarded_indices(e.name, e.idx)
+                return f"{name}[{', '.join(idxs)}]"
+            if kind == "cell":
+                if e.idx:
+                    idxs = self.guarded_indices(e.name, e.idx)
+                    return f"{name}[{', '.join(idxs)}]"
+                return f"{name}[()]"
+            if e.idx:
+                raise _CannotLower("indexed read of scalar")
+            return name
+        if isinstance(e, N.BinOp):
+            lhs = self._expr(e.lhs, int_ctx)
+            rhs = self._expr(e.rhs, int_ctx)
+            if e.op == "/":
+                return f"(({lhs}) // ({rhs}))" if int_ctx else f"_div({lhs}, {rhs})"
+            if e.op in ("and", "or"):
+                return f"(bool({lhs}) {e.op} bool({rhs}))"
+            return f"({lhs} {e.op} {rhs})"
+        if isinstance(e, N.USub):
+            return f"(-{self._expr(e.arg, int_ctx)})"
+        if isinstance(e, N.Extern):
+            impl = self.const(extern_by_name(e.fname).impl)
+            args = ", ".join(self._expr(a, False) for a in e.args)
+            return f"__K[{impl}]({args})"
+        if isinstance(e, N.StrideExpr):
+            info = self.bound.get(e.name)
+            if info is None:
+                raise _CannotLower("stride of unbound symbol")
+            return f"_stride({info[0]}, {e.dim})"
+        if isinstance(e, N.ReadConfig):
+            key = self.const((id(e.config), e.field_name))
+            label = f"{e.config.name()}.{e.field_name}"
+            return f"__ctx.cfg_read(__K[{key}], {label!r})"
+        if isinstance(e, N.WindowExpr):
+            return self.window_expr(e)
+        raise _CannotLower(type(e).__name__)
+
+    def window_expr(self, w: N.WindowExpr) -> str:
+        info = self.bound.get(w.name)
+        if info is None:
+            raise _CannotLower("window of unbound symbol")
+        name, kind = info
+        if kind == "cell":
+            # the interpreter's scalar-window special case: x[0:1] -> 1-vector
+            if (
+                len(w.idx) == 1
+                and isinstance(w.idx[0], N.Interval)
+                and isinstance(w.idx[0].lo, N.Const)
+                and w.idx[0].lo.val == 0
+                and isinstance(w.idx[0].hi, N.Const)
+                and w.idx[0].hi.val == 1
+            ):
+                return f"{name}.reshape(1)"
+            raise _CannotLower("window of scalar cell")
+        if kind != "tensor":
+            raise _CannotLower("window of scalar")
+        parts: List[str] = []
+        guards: List[str] = []
+
+        def rendered(e: N.Expr) -> str:
+            src = self.int_expr(e)
+            if provably_nonneg(e, self.nonneg):
+                return src
+            t = self.temp()
+            self.emit(f"{t} = {src}")
+            guards.append(t)
+            return t
+
+        for d in w.idx:
+            if isinstance(d, N.Interval):
+                parts.append(f"{rendered(d.lo)}:{rendered(d.hi)}")
+            else:
+                parts.append(rendered(d.pt))
+        if guards:
+            cond = " or ".join(f"{g} < 0" for g in guards)
+            self.emit(f"if {cond}:")
+            self.emit(f"    _oob({w.name.name!r})")
+        return f"{name}[{', '.join(parts)}]"
+
+    # -- vectorisation ------------------------------------------------------------
+
+    def _try_vectorize(self, s: N.For, lo_t: str, hi_t: str) -> bool:
+        mark = len(self.lines)
+        try:
+            pre, body = self._vec_lower(s, lo_t, hi_t)
+        except (_NoVec, _CannotLower):
+            del self.lines[mark:]  # discard any partial emission from analysis
+            return False
+        self.emit(f"if {hi_t} > {lo_t}:")
+        self.indent += 1
+        for line in pre:
+            self.emit(line)
+        for line in body:
+            self.emit(line)
+        self.indent -= 1
+        return True
+
+    def _vec_lower(self, s: N.For, lo_t: str, hi_t: str) -> Tuple[List[str], List[str]]:
+        """Lower an innermost map/reduction loop to whole-array statements.
+
+        Returns ``(pre, body)`` line lists (offset temps + bounds guards, then
+        the vector statements) or raises ``_NoVec``.  The rules:
+
+        * the body may contain only scalar allocations, assignments and
+          reductions (plus ``pass``);
+        * every buffer index must be affine in the iterator with a constant
+          non-negative coefficient and a loop-invariant offset;
+        * a buffer that is written is either accessed *only* through one
+          iterator-dependent index pattern (an elementwise map — exact), or
+          reduced at an invariant index and never read (a ``.sum()``);
+        * scalars allocated in the body become vector temporaries (classic
+          scalar expansion); outer scalars may only be sum-reduced.
+        """
+        iv = s.iter
+        body_written = collect_syms_written(s.body)
+        if iv in body_written:
+            raise _NoVec
+        reads_in_body = {
+            n.name
+            for st in s.body
+            for n, _ in walk(st)
+            if isinstance(n, (N.Read, N.WindowExpr, N.StrideExpr))
+        }
+
+        vtemps: Dict[Sym, str] = {}  # alloc'd scalar -> local pyname
+        vtemp_vec: Dict[Sym, bool] = {}  # does the temp currently hold a vector?
+        vtemp_syms: Set[Sym] = set()
+        work: List[N.Stmt] = []
+        for st in s.body:
+            if isinstance(st, N.Pass):
+                continue
+            if isinstance(st, N.Alloc):
+                if isinstance(st.typ, TensorType) or st.name in self.cells:
+                    raise _NoVec
+                vtemp_syms.add(st.name)
+                continue
+            if isinstance(st, (N.Assign, N.Reduce)):
+                work.append(st)
+                continue
+            raise _NoVec
+        if not work:
+            raise _NoVec
+
+        # first-access discipline for expanded scalars: written (by Assign)
+        # before ever read, and never used as an index
+        seen_write: Set[Sym] = set()
+        for st in work:
+            stmt_reads = {
+                n.name
+                for src in (list(st.idx) + [st.rhs] if st.idx else [st.rhs])
+                for n, _ in walk(src)
+                if isinstance(n, (N.Read, N.WindowExpr, N.StrideExpr))
+            }
+            for sym in stmt_reads & vtemp_syms:
+                if sym not in seen_write:
+                    raise _NoVec
+            if st.name in vtemp_syms:
+                if isinstance(st, N.Assign):
+                    seen_write.add(st.name)
+                elif st.name not in seen_write:
+                    raise _NoVec
+
+        # outer scalars may only be sum-accumulated
+        acc_syms: Set[Sym] = set()
+        for sym in body_written:
+            info = self.bound.get(sym)
+            if sym in vtemp_syms or info is None:
+                continue
+            if info[1] in ("scalar", "index"):
+                if sym in reads_in_body:
+                    raise _NoVec
+                for st in work:
+                    if st.name is sym and isinstance(st, N.Assign):
+                        raise _NoVec
+                acc_syms.add(sym)
+
+        pre: List[str] = []
+        body_lines: List[str] = []
+        off_cache: Dict[str, str] = {}
+        slice_cache: Dict[Tuple[Sym, Tuple], str] = {}
+        elem_cache: Dict[Tuple[Sym, Tuple], str] = {}
+        guarded: Set[Tuple[Sym, Tuple]] = set()
+        accesses: List[Tuple[Sym, Tuple, bool]] = []  # (buf, sig, is_write)
+        need_iota = [False]
+
+        def off_temp(off_src: str) -> str:
+            t = off_cache.get(off_src)
+            if t is None:
+                t = self.temp()
+                off_cache[off_src] = t
+                pre.append(f"{t} = {off_src}")
+            return t
+
+        def dims_sig(idx_exprs: Sequence[N.Expr]) -> Tuple:
+            dims = []
+            for e in idx_exprs:
+                dec = affine_decompose(e, iv)
+                if dec is None:
+                    raise _NoVec
+                c, off = dec
+                if c < 0:
+                    raise _NoVec
+                if c != 0 and any(cd for cd, _, _ in dims):
+                    # iterator in two dimensions of one access (a diagonal):
+                    # independent slices would turn it into an outer product
+                    raise _NoVec
+                if off is None:
+                    off_src, off_nonneg = "0", True
+                else:
+                    osyms = used_syms_expr(off)
+                    if osyms & body_written or osyms & vtemp_syms:
+                        raise _NoVec
+                    # no indirect addressing in offsets (their lowering would
+                    # need guard emission, which the vector plan hoists)
+                    for n, _ in walk(off):
+                        if isinstance(n, N.Read) and n.idx or isinstance(n, N.WindowExpr):
+                            raise _NoVec
+                    off_src = self.int_expr(off)
+                    off_nonneg = provably_nonneg(off, self.nonneg)
+                dims.append((c, off_src, off_nonneg))
+            return tuple(dims)
+
+        def elem_src(buf: Sym, sig: Tuple) -> str:
+            key = (buf, sig)
+            hit = elem_cache.get(key)
+            if hit is not None:
+                return hit
+            name = self.bound[buf][0]
+            idxs = []
+            bad = []
+            for c, off_src, off_nonneg in sig:
+                t = off_temp(off_src)
+                idxs.append(t)
+                if not off_nonneg:
+                    bad.append(t)
+            if bad and key not in guarded:
+                guarded.add(key)
+                pre.append(f"if {' or '.join(f'{t} < 0' for t in bad)}:")
+                pre.append(f"    _oob({buf.name!r})")
+            src = f"{name}[{', '.join(idxs)}]" if sig else f"{name}[()]"
+            elem_cache[key] = src
+            return src
+
+        def slice_src(buf: Sym, sig: Tuple) -> str:
+            key = (buf, sig)
+            hit = slice_cache.get(key)
+            if hit is not None:
+                return hit
+            name = self.bound[buf][0]
+            parts = []
+            for d, (c, off_src, off_nonneg) in enumerate(sig):
+                if c == 0:
+                    t = off_temp(off_src)
+                    parts.append(t)
+                    if not off_nonneg:
+                        pre.append(f"if {t} < 0:")
+                        pre.append(f"    _oob({buf.name!r})")
+                    continue
+                base = "" if off_src == "0" else f"{off_temp(off_src)} + "
+                if c == 1:
+                    start, last = f"{base}{lo_t}", f"{base}{hi_t} - 1"
+                    stop, step = f"{base}{hi_t}", ""
+                else:
+                    start = f"{base}{c} * {lo_t}"
+                    last = f"{base}{c} * ({hi_t} - 1)"
+                    stop, step = f"{last} + 1", f":{c}"
+                pre.append(f"if ({start}) < 0 or ({last}) >= {name}.shape[{d}]:")
+                pre.append(f"    _oob({buf.name!r}, 'vector access out of range')")
+                parts.append(f"{start}:{stop}{step}")
+            src = f"{name}[{', '.join(parts)}]"
+            slice_cache[key] = src
+            return src
+
+        def vec_expr(e: N.Expr) -> _Vec:
+            if isinstance(e, N.Const):
+                if isinstance(e.val, bool):
+                    return _Vec("True" if e.val else "False", False)
+                return _Vec(repr(e.val), False)
+            if isinstance(e, N.Read):
+                sym = e.name
+                if sym is iv and not e.idx:
+                    need_iota[0] = True
+                    return _Vec("__iota", True, atom=True)
+                if sym in vtemps:
+                    if e.idx:
+                        raise _NoVec
+                    # a temp assigned a loop-invariant RHS is still a scalar
+                    isv = vtemp_vec.get(sym, False)
+                    return _Vec(vtemps[sym], isv, atom=isv)
+                if sym in vtemp_syms:  # read before any write: rejected above
+                    raise _NoVec
+                info = self.bound.get(sym)
+                if info is None:
+                    raise _NoVec
+                name, kind = info
+                if kind in ("scalar", "index"):
+                    if e.idx or sym in acc_syms:
+                        raise _NoVec
+                    return _Vec(name, False)
+                if kind == "cell":
+                    if e.idx:
+                        raise _NoVec
+                    accesses.append((sym, (), False))
+                    return _Vec(f"{name}[()]", False)
+                if not e.idx:
+                    raise _NoVec
+                sig = dims_sig(e.idx)
+                if any(c for c, _, _ in sig):
+                    accesses.append((sym, sig, False))
+                    return _Vec(slice_src(sym, sig), True, atom=True)
+                accesses.append((sym, sig, False))
+                return _Vec(elem_src(sym, sig), False)
+            if isinstance(e, N.BinOp):
+                if e.op in ("and", "or"):
+                    raise _NoVec
+                l, r = vec_expr(e.lhs), vec_expr(e.rhs)
+                vec = l.vec or r.vec
+                if e.op == "/":
+                    return _Vec(f"_div({l.src}, {r.src})", vec)
+                return _Vec(f"({l.src} {e.op} {r.src})", vec)
+            if isinstance(e, N.USub):
+                x = vec_expr(e.arg)
+                return _Vec(f"(-{x.src})", x.vec)
+            if isinstance(e, N.Extern):
+                subs = [vec_expr(a) for a in e.args]
+                defn = extern_by_name(e.fname)
+                if any(x.vec for x in subs):
+                    # the registry's whole-array template (np_template); an
+                    # extern registered without one blocks vectorisation and
+                    # the loop runs through the scalar lowering instead
+                    if defn.np_template is None:
+                        raise _NoVec
+                    return _Vec(defn.np_template.format(*[x.src for x in subs]), True)
+                impl = self.const(defn.impl)
+                return _Vec(f"__K[{impl}]({', '.join(x.src for x in subs)})", False)
+            raise _NoVec
+
+        for st in work:
+            aug = isinstance(st, N.Reduce)
+            tgt = st.name
+            if tgt in vtemp_syms:
+                r = vec_expr(st.rhs)
+                name = vtemps.get(tgt)
+                if name is None:
+                    name = f"__v{len(vtemps)}"
+                if aug:
+                    body_lines.append(f"{name} = {name} + ({r.src})")
+                    vtemp_vec[tgt] = vtemp_vec.get(tgt, False) or r.vec
+                else:
+                    # unary + copies: a bare slice must not stay a live view
+                    # of a buffer that later statements may overwrite
+                    src = f"(+{r.src})" if r.atom else r.src
+                    body_lines.append(f"{name} = {src}")
+                    vtemp_vec[tgt] = r.vec
+                vtemps[tgt] = name
+                continue
+            if tgt in acc_syms:
+                r = vec_expr(st.rhs)
+                if not r.vec:
+                    raise _NoVec
+                name = self.bound[tgt][0]
+                expr = f"{name} + ({r.src}).sum()"
+                cast = self.scalar_cast.get(tgt)
+                if cast is not None:
+                    expr = f"__K[{cast}]({expr})"
+                body_lines.append(f"{name} = {expr}")
+                continue
+            info = self.bound.get(tgt)
+            if info is None:
+                raise _NoVec
+            name, kind = info
+            if kind == "cell":
+                sig: Tuple = ()
+            elif kind == "tensor":
+                if not st.idx:
+                    raise _NoVec
+                sig = dims_sig(st.idx)
+            else:
+                raise _NoVec
+            r = vec_expr(st.rhs)
+            if any(c for c, _, _ in sig):
+                accesses.append((tgt, sig, True))
+                body_lines.append(f"{slice_src(tgt, sig)} {'+=' if aug else '='} {r.src}")
+            else:
+                if not aug or not r.vec:
+                    raise _NoVec
+                accesses.append((tgt, sig, True))
+                tgt_src = elem_src(tgt, sig) if kind == "tensor" else f"{name}[()]"
+                body_lines.append(f"{tgt_src} += ({r.src}).sum(dtype={name}.dtype)")
+
+        # windows alias their base buffer: if any buffer in an alias group is
+        # written while the group is accessed under more than one name, the
+        # per-symbol analysis below would miss the dependence — reject
+        per_base: Dict[Sym, Tuple[Set[Sym], List[bool]]] = {}
+        for sym, _, is_write in accesses:
+            syms, writes = per_base.setdefault(self.window_base.get(sym, sym), (set(), []))
+            syms.add(sym)
+            writes.append(is_write)
+        for syms, writes in per_base.values():
+            if len(syms) > 1 and any(writes):
+                raise _NoVec
+
+        # dependence validation per written buffer
+        per_buf: Dict[Sym, List[Tuple[Tuple, bool]]] = {}
+        for sym, sig, is_write in accesses:
+            per_buf.setdefault(sym, []).append((sig, is_write))
+        for sym, accs in per_buf.items():
+            write_sigs = {sig for sig, w in accs if w}
+            if not write_sigs:
+                continue
+            idep = {sig for sig in write_sigs if any(c for c, _, _ in sig)}
+            iindep = write_sigs - idep
+            if idep and iindep:
+                raise _NoVec
+            if len(idep) > 1:
+                raise _NoVec
+            read_sigs = {sig for sig, w in accs if not w}
+            if read_sigs:
+                if iindep:
+                    raise _NoVec  # partial sums would be observable
+                (wsig,) = idep
+                if any(rs != wsig for rs in read_sigs):
+                    raise _NoVec
+
+        if need_iota[0]:
+            pre.append(f"__iota = np.arange({lo_t}, {hi_t})")
+        return pre, body_lines

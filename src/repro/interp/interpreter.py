@@ -7,40 +7,77 @@ by the performance model's validation tests.
 
 ``@instr`` procedures are executed through their bodies, which define their
 semantics, exactly as in Exo's exocompilation model.
+
+Backend selection
+-----------------
+:func:`run_proc` (and therefore :func:`check_equiv`) takes a ``backend``
+argument:
+
+* ``"compiled"`` (the default) — the NumPy compiled execution engine
+  (:mod:`repro.interp.compile`): ~2–3 orders of magnitude faster, with
+  automatic per-statement fallback to this tree interpreter for constructs it
+  cannot lower, and a silent whole-procedure fallback when a procedure cannot
+  be compiled at all;
+* ``"interp"`` — this tree-walking reference interpreter;
+* ``"differential"`` — run *both* engines on identical inputs and raise
+  :class:`DifferentialError` if any tensor argument diverges beyond
+  ``check_equiv`` tolerances.
+
+The default can be overridden with the ``REPRO_EXEC_BACKEND`` environment
+variable or :func:`set_default_backend`.
+
+Out-of-bounds accesses — including *negative* indices, which NumPy would
+silently wrap — raise :class:`InterpError` under every backend.
 """
 
 from __future__ import annotations
 
+import os
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from ..backend.lowering import NP_DTYPES as _DTYPES
+from ..backend.lowering import np_dtype_for as _dtype_for
 from ..errors import ExoError
 from ..ir import nodes as N
 from ..ir.externs import extern_by_name
 from ..ir.syms import Sym
 from ..ir.types import ScalarType, TensorType
 
-__all__ = ["run_proc", "InterpError", "make_random_args", "check_equiv"]
+__all__ = [
+    "run_proc",
+    "InterpError",
+    "DifferentialError",
+    "make_random_args",
+    "check_equiv",
+    "set_default_backend",
+    "default_backend",
+]
 
 
 class InterpError(ExoError):
     """Raised when object code cannot be executed (e.g. out-of-bounds access)."""
 
 
-_DTYPES = {
-    "f16": np.float32,  # interpreted at f32 precision
-    "f32": np.float32,
-    "f64": np.float64,
-    "i8": np.int32,  # interpreted widely; quantisation handled by externs
-    "i16": np.int32,
-    "i32": np.int32,
-}
+class DifferentialError(InterpError):
+    """The compiled engine and the tree interpreter disagreed on an output."""
 
 
-def _dtype_for(typ) -> np.dtype:
-    base = typ.basetype() if isinstance(typ, TensorType) else typ
-    return np.dtype(_DTYPES.get(base.name, np.float64))
+_BACKENDS = ("compiled", "interp", "differential")
+_default_backend = os.environ.get("REPRO_EXEC_BACKEND", "compiled")
+
+
+def default_backend() -> str:
+    return _default_backend
+
+
+def set_default_backend(name: str) -> None:
+    """Set the process-wide default execution backend (see module docstring)."""
+    if name not in _BACKENDS:
+        raise ValueError(f"unknown backend {name!r}; expected one of {_BACKENDS}")
+    global _default_backend
+    _default_backend = name
 
 
 class _Interp:
@@ -59,6 +96,9 @@ class _Interp:
                     return val[()]
                 return val
             idx = tuple(self._eval_index(i, env) for i in e.idx)
+            if any(i < 0 for i in idx):
+                # NumPy would silently wrap negative indices
+                raise InterpError(f"out-of-bounds read of {e.name}{list(idx)} (negative index)")
             try:
                 return val[idx]
             except IndexError as exc:
@@ -134,9 +174,14 @@ class _Interp:
             if isinstance(d, N.Interval):
                 lo = self._eval_index(d.lo, env)
                 hi = self._eval_index(d.hi, env)
+                if lo < 0 or hi < 0:
+                    raise InterpError(f"out-of-bounds window of {w.name} (negative bound)")
                 index.append(slice(lo, hi))
             else:
-                index.append(self._eval_index(d.pt, env))
+                pt = self._eval_index(d.pt, env)
+                if pt < 0:
+                    raise InterpError(f"out-of-bounds window of {w.name} (negative index)")
+                index.append(pt)
         if arr.ndim == 0 and index == [slice(0, 1)]:
             return arr.reshape(1)
         return arr[tuple(index)]
@@ -154,6 +199,8 @@ class _Interp:
             if isinstance(target, np.ndarray):
                 if s.idx:
                     idx = tuple(self._eval_index(i, env) for i in s.idx)
+                    if any(i < 0 for i in idx):
+                        raise InterpError(f"out-of-bounds write to {s.name}{list(idx)} (negative index)")
                 else:
                     idx = ()
                 try:
@@ -220,12 +267,38 @@ class _Interp:
         self.exec_stmts(proc_def.body, env)
 
 
-def run_proc(procedure, *pos_args, check_asserts: bool = True, config_state=None, **kw_args):
+def _run_compiled(root, env: Dict[Sym, object], config_state) -> None:
+    """Execute through the compiled engine (raises CompileError if the whole
+    procedure cannot be lowered)."""
+    from .compile import _RunContext, compile_proc
+
+    engine = compile_proc(root)
+    ctx = _RunContext(config_state)
+    engine.run(ctx, [env[a.name] for a in root.args])
+
+
+def run_proc(
+    procedure,
+    *pos_args,
+    backend: Optional[str] = None,
+    check_asserts: bool = True,
+    config_state=None,
+    diff_rtol: float = 1e-4,
+    diff_atol: float = 1e-5,
+    **kw_args,
+):
     """Execute a :class:`Procedure` on concrete arguments.
 
     Arguments are given positionally or by name; tensor arguments must be
     numpy arrays (modified in place), sizes are ints and scalars floats.
+    ``backend`` selects the execution engine (see the module docstring);
+    ``diff_rtol``/``diff_atol`` are the tolerances of the ``"differential"``
+    backend's cross-check.
     """
+    if backend is None:
+        backend = _default_backend
+    if backend not in _BACKENDS:
+        raise InterpError(f"unknown backend {backend!r}; expected one of {_BACKENDS}")
     root = procedure._root if hasattr(procedure, "_root") else procedure
     env: Dict[Sym, object] = {}
     names = [a.name.name for a in root.args]
@@ -248,7 +321,56 @@ def run_proc(procedure, *pos_args, check_asserts: bool = True, config_state=None
                 from ..ir.printing import expr_str
 
                 raise InterpError(f"procedure precondition failed: {expr_str(p)}")
-    interp.exec_proc(root, env)
+
+    if backend == "interp":
+        interp.exec_proc(root, env)
+        return {n: values[n] for n in names}
+
+    if backend == "differential":
+        # reference run on private copies, compiled run on the caller's
+        # buffers, then compare every tensor argument and the config state
+        ref_env = {
+            a.name: (env[a.name].copy() if isinstance(env[a.name], np.ndarray) else env[a.name])
+            for a in root.args
+        }
+        if config_state is None:
+            config_state = {}  # materialised so both legs are comparable
+        ref_cfg = dict(config_state)
+        _Interp(ref_cfg).exec_proc(root, ref_env)
+
+    from .compile import CompileError
+
+    try:
+        _run_compiled(root, env, config_state)
+    except CompileError as exc:
+        if backend == "differential":
+            # degrading to interpreter-vs-interpreter would make the
+            # cross-check vacuous; fail loudly instead
+            raise DifferentialError(
+                f"{root.name}: compiled engine unavailable for differential check: {exc}"
+            ) from exc
+        interp.exec_proc(root, env)
+
+    if backend == "differential":
+        for a in root.args:
+            got = env[a.name]
+            if not isinstance(got, np.ndarray):
+                continue
+            want = ref_env[a.name]
+            if not np.allclose(got, want, rtol=diff_rtol, atol=diff_atol, equal_nan=True):
+                worst = float(np.max(np.abs(np.asarray(got, dtype=np.float64) - want)))
+                raise DifferentialError(
+                    f"{root.name}: compiled engine disagrees with the tree interpreter "
+                    f"on argument {a.name.name!r} (max abs diff {worst:g})"
+                )
+        if set(config_state) != set(ref_cfg) or any(
+            not np.allclose(config_state[k], ref_cfg[k], rtol=diff_rtol, atol=diff_atol)
+            for k in ref_cfg
+        ):
+            raise DifferentialError(
+                f"{root.name}: compiled engine disagrees with the tree interpreter "
+                f"on the final configuration state"
+            )
     return {n: values[n] for n in names}
 
 
@@ -287,15 +409,26 @@ def make_random_args(procedure, size_env: Dict[str, int], seed: int = 0) -> Dict
     return out
 
 
-def check_equiv(p1, p2, size_env: Dict[str, int], *, seed: int = 0, rtol: float = 1e-4, atol: float = 1e-5) -> bool:
+def check_equiv(
+    p1,
+    p2,
+    size_env: Dict[str, int],
+    *,
+    seed: int = 0,
+    rtol: float = 1e-4,
+    atol: float = 1e-5,
+    backend: Optional[str] = None,
+) -> bool:
     """Run two procedures on identical random inputs and compare every tensor
-    argument afterwards.  Returns True when all outputs match."""
+    argument afterwards.  Returns True when all outputs match.  ``backend``
+    selects the execution engine for both runs (default: the process default,
+    normally the compiled engine)."""
     args1 = make_random_args(p1, size_env, seed=seed)
     args2 = {
         k: (v.copy() if isinstance(v, np.ndarray) else v) for k, v in make_random_args(p2, size_env, seed=seed).items()
     }
-    out1 = run_proc(p1, **args1)
-    out2 = run_proc(p2, **args2)
+    out1 = run_proc(p1, backend=backend, **args1)
+    out2 = run_proc(p2, backend=backend, **args2)
     for name, v1 in out1.items():
         if isinstance(v1, np.ndarray):
             v2 = out2[name]

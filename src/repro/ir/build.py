@@ -39,6 +39,7 @@ __all__ = [
     "collect_syms_written",
     "collect_allocs",
     "used_syms_expr",
+    "contains_sym",
     "stmt_list_field_paths",
     "is_stmt",
     "is_expr",
@@ -327,6 +328,11 @@ def struct_hash(node) -> int:
     Contract: do **not** mutate a subtree in place after hashing it within the
     same epoch — the codebase's convention of mutating only freshly copied
     nodes (which carry no memo) upholds this automatically.
+
+    Consumers: besides structural-equality pruning, the compiled execution
+    engine (:mod:`repro.interp.compile`) keys its code cache on this hash (plus
+    an alpha-identity signature), so an epoch bump transparently invalidates
+    compiled callables for any tree edited in place.
     """
     return _struct_hash(node, N.mutation_epoch())
 
@@ -435,6 +441,17 @@ def used_syms_expr(expr: N.Expr) -> set:
         if isinstance(n, (N.Read, N.WindowExpr, N.StrideExpr)):
             out.add(n.name)
     return out
+
+
+def contains_sym(node, sym: Sym) -> bool:
+    """Does the subtree reference ``sym`` (read, write, window, stride, or as
+    a loop iterator)?  Comparison is by identity, like all symbol binding."""
+    for n, _ in walk(node):
+        if isinstance(n, (N.Read, N.WindowExpr, N.StrideExpr, N.Assign, N.Reduce)) and n.name is sym:
+            return True
+        if isinstance(n, N.For) and n.iter is sym:
+            return True
+    return False
 
 
 def collect_syms_read(node) -> set:

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, Dict
+from typing import Callable, Dict, Optional
 
 __all__ = ["ExternDef", "register_extern", "extern_by_name", "has_extern"]
 
@@ -24,14 +24,29 @@ class ExternDef:
     impl: Callable
     c_template: str
     cost: float = 1.0
+    # optional whole-array (NumPy) template used by the compiled execution
+    # engine to vectorise loops containing this extern; when None, such loops
+    # fall back to the scalar lowering (which calls ``impl`` directly)
+    np_template: Optional[str] = None
 
 
 _EXTERNS: Dict[str, ExternDef] = {}
 
 
-def register_extern(name: str, arity: int, impl: Callable, c_template: str, cost: float = 1.0) -> ExternDef:
-    """Register an extern function usable inside object-code expressions."""
-    d = ExternDef(name, arity, impl, c_template, cost)
+def register_extern(
+    name: str,
+    arity: int,
+    impl: Callable,
+    c_template: str,
+    cost: float = 1.0,
+    np_template: Optional[str] = None,
+) -> ExternDef:
+    """Register an extern function usable inside object-code expressions.
+
+    ``np_template`` optionally supplies an elementwise whole-array form (e.g.
+    ``"np.abs({0})"``) that lets the compiled engine vectorise loops using the
+    extern; it must agree with ``impl`` elementwise."""
+    d = ExternDef(name, arity, impl, c_template, cost, np_template)
     _EXTERNS[name] = d
     return d
 
@@ -55,16 +70,26 @@ def _clamp(x, lo=-128.0, hi=127.0):
     return max(lo, min(hi, x))
 
 
-register_extern("sin", 1, math.sin, "sin({0})", cost=8.0)
-register_extern("cos", 1, math.cos, "cos({0})", cost=8.0)
-register_extern("sqrt", 1, math.sqrt, "sqrt({0})", cost=4.0)
-register_extern("fabs", 1, abs, "fabs({0})", cost=1.0)
-register_extern("fmax", 2, max, "fmax({0}, {1})", cost=1.0)
-register_extern("fmin", 2, min, "fmin({0}, {1})", cost=1.0)
-register_extern("relu", 1, lambda x: x if x > 0 else 0.0, "(({0}) > 0 ? ({0}) : 0)", cost=1.0)
-register_extern("select", 4, _select, "(({0}) >= ({1}) ? ({2}) : ({3}))", cost=1.0)
-register_extern("clamp", 1, _clamp, "fminf(fmaxf({0}, -128.0f), 127.0f)", cost=2.0)
+register_extern("sin", 1, math.sin, "sin({0})", cost=8.0, np_template="np.sin({0})")
+register_extern("cos", 1, math.cos, "cos({0})", cost=8.0, np_template="np.cos({0})")
+register_extern("sqrt", 1, math.sqrt, "sqrt({0})", cost=4.0, np_template="np.sqrt({0})")
+register_extern("fabs", 1, abs, "fabs({0})", cost=1.0, np_template="np.abs({0})")
+register_extern("fmax", 2, max, "fmax({0}, {1})", cost=1.0, np_template="np.maximum({0}, {1})")
+register_extern("fmin", 2, min, "fmin({0}, {1})", cost=1.0, np_template="np.minimum({0}, {1})")
 register_extern(
-    "acc_scale", 2, lambda x, scale: x * scale, "(({0}) * ({1}))", cost=1.0
+    "relu", 1, lambda x: x if x > 0 else 0.0, "(({0}) > 0 ? ({0}) : 0)", cost=1.0,
+    np_template="np.where(({0}) > 0, ({0}), 0.0)",  # NaN -> 0.0, like the impl
 )
-register_extern("expf", 1, math.exp, "expf({0})", cost=8.0)
+register_extern(
+    "select", 4, _select, "(({0}) >= ({1}) ? ({2}) : ({3}))", cost=1.0,
+    np_template="np.where(({0}) >= ({1}), ({2}), ({3}))",
+)
+register_extern(
+    "clamp", 1, _clamp, "fminf(fmaxf({0}, -128.0f), 127.0f)", cost=2.0,
+    np_template="np.clip({0}, -128.0, 127.0)",
+)
+register_extern(
+    "acc_scale", 2, lambda x, scale: x * scale, "(({0}) * ({1}))", cost=1.0,
+    np_template="(({0}) * ({1}))",
+)
+register_extern("expf", 1, math.exp, "expf({0})", cost=8.0, np_template="np.exp({0})")

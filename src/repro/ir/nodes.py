@@ -81,7 +81,9 @@ def mutation_epoch() -> int:
 
 
 def bump_mutation_epoch() -> None:
-    """Invalidate every memoised structural hash."""
+    """Invalidate every memoised structural hash (and, transitively, every
+    cache keyed on one — e.g. the compiled execution engine's code cache in
+    :mod:`repro.interp.compile`)."""
     global _mutation_epoch
     _mutation_epoch += 1
 

@@ -20,7 +20,9 @@ def test_level1_schedules_preserve_semantics(name):
     kernel = LEVEL1_KERNELS[name]
     prec = "f64" if name.startswith("d") and name != "dsdot" else "f32"
     opt = optimize_level_1(kernel, "i", prec, AVX2, 2)
-    assert check_equiv(kernel, opt, {"n": 45})
+    # sizes far beyond the old toy n=45: the compiled engine makes large
+    # equivalence checks cheap (1029 exercises the remainder loops too)
+    assert check_equiv(kernel, opt, {"n": 1029})
     assert check_equiv(kernel, opt, {"n": 8})
 
 
@@ -38,7 +40,7 @@ def test_level2_schedules_preserve_semantics(name):
     kernel = LEVEL2_KERNELS[name]
     prec = "f64" if name.startswith("d") else "f32"
     opt = optimize_level_2_general(kernel, "i", prec, AVX2, 2, 2)
-    sizes = {"M": 19, "N": 23} if ("gemv" in name or "ger" in name) else {"N": 21}
+    sizes = {"M": 128, "N": 123} if ("gemv" in name or "ger" in name) else {"N": 128}
     assert check_equiv(kernel, opt, sizes)
 
 
@@ -65,10 +67,12 @@ def test_sgemm_micro_kernel_avx512():
     uk = sgemm_micro_kernel(AVX512, M_r=2, N_r_vecs=1, precision="f32")
     ref = SGEMM.partial_eval(M=2, N=16)
     assert "fma" in str(uk)
-    assert check_equiv(ref, uk, {"K": 24})
+    assert check_equiv(ref, uk, {"K": 192})
 
 
 def test_schedule_sgemm_equivalent():
     from repro.blas import SGEMM
     p = schedule_sgemm(AVX2, M_blk=8, N_blk=16, K_blk=8, M_r=2, N_r_vecs=1)
+    # 64x64x64 (the ISSUE-2 scale target) plus a ragged shape for edge loops
+    assert check_equiv(SGEMM, p, {"M": 64, "N": 64, "K": 64})
     assert check_equiv(SGEMM, p, {"M": 12, "N": 20, "K": 9})

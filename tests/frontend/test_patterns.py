@@ -56,3 +56,14 @@ def test_find_within_cursor_scope(gemv):
     assert isinstance(inner, ForCursor)
     with pytest.raises(InvalidCursorError):
         inner.find_loop("i")  # the i loop is not inside the j loop
+
+
+def test_parse_pattern_is_memoised(gemv):
+    # every Procedure.find re-parses its pattern string; the lru_cache must
+    # hand back the identical parse (matching only ever reads the ast nodes)
+    from repro.frontend.pattern import parse_pattern
+
+    assert parse_pattern("for i in _: _") is parse_pattern("for i in _: _")
+    # cached parses keep matching correctly across different procedures
+    assert gemv.find("y[_] += _") is not None
+    assert gemv.find("y[_] += _") is not None

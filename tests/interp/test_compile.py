@@ -1,0 +1,359 @@
+"""Unit tests for the compiled execution engine (repro.interp.compile)."""
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import proc_from_source
+from repro.interp import (
+    CompileError,
+    InterpError,
+    check_equiv,
+    compile_proc,
+    compiled_source,
+    make_random_args,
+    run_proc,
+)
+
+
+def _both(proc, size_env, seed=0):
+    """Run ``proc`` under both backends on identical inputs; return (compiled,
+    interp) argument dicts."""
+    a1 = make_random_args(proc, size_env, seed=seed)
+    a2 = {k: (v.copy() if isinstance(v, np.ndarray) else v) for k, v in a1.items()}
+    run_proc(proc, backend="compiled", **a1)
+    run_proc(proc, backend="interp", **a2)
+    return a1, a2
+
+
+# ---------------------------------------------------------------------------
+# Vectorisation
+# ---------------------------------------------------------------------------
+
+
+def test_saxpy_vectorises_and_is_bit_identical():
+    p = proc_from_source(
+        """
+def saxpy(n: size, alpha: f32, x: f32[n] @ DRAM, y: f32[n] @ DRAM):
+    for i in seq(0, n):
+        y[i] += alpha * x[i]
+"""
+    )
+    eng = compile_proc(p)
+    assert eng.vector_loops == 1 and eng.fallback_stmts == 0
+    assert "range(" not in eng.source  # the loop is gone entirely
+    a1, a2 = _both(p, {"n": 10_000})
+    assert np.array_equal(a1["y"], a2["y"])  # elementwise map: exact
+
+
+def test_gemm_inner_loop_vectorises():
+    p = proc_from_source(
+        """
+def gemm(M: size, N: size, K: size, A: f32[M, K] @ DRAM, B: f32[K, N] @ DRAM, C: f32[M, N] @ DRAM):
+    for k in seq(0, K):
+        for i in seq(0, M):
+            for j in seq(0, N):
+                C[i, j] += A[i, k] * B[k, j]
+"""
+    )
+    eng = compile_proc(p)
+    assert eng.vector_loops == 1
+    a1, a2 = _both(p, {"M": 17, "N": 23, "K": 11})
+    assert np.array_equal(a1["C"], a2["C"])
+
+
+def test_scalar_expansion_rot_kernel():
+    # xi is a loop-local scalar read after x is overwritten: the vectoriser
+    # must materialise a copy, not keep a live view
+    p = proc_from_source(
+        """
+def rot(n: size, c: f32, s: f32, x: f32[n] @ DRAM, y: f32[n] @ DRAM):
+    for i in seq(0, n):
+        xi: f32 @ DRAM
+        xi = x[i]
+        x[i] = c * xi + s * y[i]
+        y[i] = c * y[i] - s * xi
+"""
+    )
+    assert compile_proc(p).vector_loops == 1
+    a1, a2 = _both(p, {"n": 513, "c": 0.8, "s": 0.6})
+    assert np.array_equal(a1["x"], a2["x"]) and np.array_equal(a1["y"], a2["y"])
+
+
+def test_invariant_reduction_becomes_sum():
+    p = proc_from_source(
+        """
+def dot(n: size, x: f32[n] @ DRAM, y: f32[n] @ DRAM, result: f32[1] @ DRAM):
+    for i in seq(0, n):
+        result[0] += x[i] * y[i]
+"""
+    )
+    eng = compile_proc(p)
+    assert eng.vector_loops == 1 and ".sum(" in eng.source
+    a1, a2 = _both(p, {"n": 65536})
+    assert np.allclose(a1["result"], a2["result"], rtol=1e-4)
+
+
+def test_loop_carried_dependence_not_vectorised():
+    # prefix sum: y[i] reads y[i - 1] + 1 — must stay a scalar loop
+    p = proc_from_source(
+        """
+def scan(n: size, y: f32[n] @ DRAM):
+    for i in seq(0, n):
+        y[i + 1] = y[i] + 1.0
+"""
+    )
+    eng = compile_proc(p)
+    assert eng.vector_loops == 0 and "range(" in eng.source
+    a1 = make_random_args(p, {"n": 64})
+    a1["y"] = np.zeros(65, dtype=np.float32)
+    a2 = {k: (v.copy() if isinstance(v, np.ndarray) else v) for k, v in a1.items()}
+    run_proc(p, backend="compiled", **a1)
+    run_proc(p, backend="interp", **a2)
+    assert np.array_equal(a1["y"], a2["y"])
+
+
+def test_diagonal_access_not_vectorised():
+    # the iterator in two dimensions of one access is not a slice — naive
+    # per-dimension slicing would write an n x n block instead of a diagonal
+    p = proc_from_source(
+        """
+def diag(n: size, A: f32[n, n] @ DRAM):
+    for i in seq(0, n):
+        A[i, i] = 1.0
+"""
+    )
+    assert compile_proc(p).vector_loops == 0
+    a1, a2 = _both(p, {"n": 6})
+    assert np.array_equal(a1["A"], a2["A"])
+    assert a1["A"][0, 1] != 1.0  # off-diagonal untouched
+
+    q = proc_from_source(
+        """
+def rdiag(n: size, A: f32[n, n] @ DRAM, y: f32[n] @ DRAM):
+    for i in seq(0, n):
+        y[i] = A[i, i]
+"""
+    )
+    b1, b2 = _both(q, {"n": 6})
+    assert np.array_equal(b1["y"], b2["y"])
+
+
+def test_invariant_scalar_temp_reduction_not_summed():
+    # t holds a loop-invariant *scalar*: the sum-reduction lowering must not
+    # emit .sum() on it (the reduction adds t once per iteration)
+    p = proc_from_source(
+        """
+def inv(n: size, alpha: f32, s: f32[1] @ DRAM):
+    for i in seq(0, n):
+        t: f32 @ DRAM
+        t = alpha
+        s[0] += t
+"""
+    )
+    a1 = {"n": 5, "alpha": 2.0, "s": np.zeros(1, dtype=np.float32)}
+    a2 = {"n": 5, "alpha": 2.0, "s": np.zeros(1, dtype=np.float32)}
+    run_proc(p, backend="compiled", **a1)
+    run_proc(p, backend="interp", **a2)
+    assert np.allclose(a1["s"], a2["s"])
+    assert np.allclose(a1["s"], [10.0])
+
+
+def test_window_alias_blocks_unsafe_vectorisation():
+    # t aliases x through a window; the shifted copy has a loop-carried
+    # dependence that a per-symbol analysis would miss
+    p = proc_from_source(
+        """
+def shift(n: size, x: f32[n] @ DRAM):
+    t = x[0:n]
+    for i in seq(0, n - 1):
+        x[i + 1] = t[i]
+"""
+    )
+    assert compile_proc(p).vector_loops == 0
+    a1 = {"n": 8, "x": np.arange(8, dtype=np.float32)}
+    a2 = {"n": 8, "x": np.arange(8, dtype=np.float32)}
+    run_proc(p, backend="compiled", **a1)
+    run_proc(p, backend="interp", **a2)
+    assert np.array_equal(a1["x"], a2["x"])
+
+
+def test_window_reads_alone_still_vectorise():
+    p = proc_from_source(
+        """
+def wread(n: size, x: f32[n] @ DRAM, y: f32[n] @ DRAM):
+    t = x[0:n]
+    for i in seq(0, n):
+        y[i] = t[i] + x[i]
+"""
+    )
+    assert compile_proc(p).vector_loops == 1
+    a1, a2 = _both(p, {"n": 100})
+    assert np.array_equal(a1["y"], a2["y"])
+
+
+def test_extern_vectorises_via_numpy_equivalent():
+    p = proc_from_source(
+        """
+def asum(n: size, x: f32[n] @ DRAM, result: f32[1] @ DRAM):
+    for i in seq(0, n):
+        result[0] += fabs(x[i])
+"""
+    )
+    eng = compile_proc(p)
+    assert eng.vector_loops == 1 and "np.abs" in eng.source
+    a1, a2 = _both(p, {"n": 4096})
+    assert np.allclose(a1["result"], a2["result"], rtol=1e-4)
+
+
+# ---------------------------------------------------------------------------
+# Out-of-bounds behaviour (negative-index regression, satellite task)
+# ---------------------------------------------------------------------------
+
+
+def test_negative_index_rejected_by_both_backends():
+    p = proc_from_source(
+        """
+def neg(n: size, x: f32[n] @ DRAM, y: f32[n] @ DRAM):
+    for i in seq(0, n):
+        y[i] = x[i - 1]
+"""
+    )
+    for backend in ("interp", "compiled"):
+        args = make_random_args(p, {"n": 8})
+        with pytest.raises(InterpError):
+            run_proc(p, backend=backend, **args)
+
+
+def test_negative_index_rejected_in_scalar_compiled_path():
+    # i / 2 defeats the affine analysis, so this exercises the guarded
+    # scalar lowering rather than the slice guard
+    p = proc_from_source(
+        """
+def neg2(n: size, x: f32[n] @ DRAM, y: f32[n] @ DRAM):
+    for i in seq(0, n):
+        y[i] = x[i / 2 - 1]
+"""
+    )
+    assert compile_proc(p).vector_loops == 0
+    for backend in ("interp", "compiled"):
+        args = make_random_args(p, {"n": 8})
+        with pytest.raises(InterpError):
+            run_proc(p, backend=backend, **args)
+
+
+def test_negative_window_rejected_by_both_backends():
+    p = proc_from_source(
+        """
+def negw(n: size, x: f32[n] @ DRAM, y: f32[n] @ DRAM):
+    for i in seq(0, n / 4):
+        w = x[4 * i - 1:4 * i + 3]
+        for j in seq(0, 4):
+            y[4 * i + j] = w[j]
+"""
+    )
+    for backend in ("interp", "compiled"):
+        args = make_random_args(p, {"n": 8})
+        with pytest.raises(InterpError):
+            run_proc(p, backend=backend, **args)
+
+
+def test_upper_out_of_bounds_rejected_by_both_backends():
+    p = proc_from_source(
+        """
+def over(n: size, x: f32[n] @ DRAM, y: f32[n] @ DRAM):
+    for i in seq(0, n):
+        y[i] = x[i + 1]
+"""
+    )
+    for backend in ("interp", "compiled"):
+        args = make_random_args(p, {"n": 8})
+        with pytest.raises(InterpError):
+            run_proc(p, backend=backend, **args)
+
+
+# ---------------------------------------------------------------------------
+# Fallback, caching, differential mode
+# ---------------------------------------------------------------------------
+
+
+def test_scheduled_kernel_compiles_calls_recursively():
+    from repro.blas import LEVEL1_KERNELS, optimize_level_1
+    from repro.machines import AVX2
+
+    opt = optimize_level_1(LEVEL1_KERNELS["saxpy"], "i", "f32", AVX2, 2)
+    eng = compile_proc(opt)
+    # @instr calls lower to compiled callees, not interpreter fallbacks
+    assert eng.fallback_stmts == 0
+    assert check_equiv(LEVEL1_KERNELS["saxpy"], opt, {"n": 4096})
+
+
+def test_compile_cache_hits_and_distinguishes_procs():
+    p = proc_from_source(
+        """
+def cached(n: size, x: f32[n] @ DRAM):
+    for i in seq(0, n):
+        x[i] = x[i] * 2.0
+"""
+    )
+    assert compile_proc(p) is compile_proc(p)
+    q = proc_from_source(
+        """
+def cached(n: size, x: f32[n] @ DRAM):
+    for i in seq(0, n):
+        x[i] = x[i] * 3.0
+"""
+    )
+    assert compile_proc(p) is not compile_proc(q)
+
+
+def test_cache_distinguishes_argument_types():
+    # struct_hash skips FnArg types, but codegen depends on them: a `size`
+    # argument elides the negative-index guard an `index` argument needs
+    src = """
+def typed(k: {T}, y: f32[8] @ DRAM):
+    y[k] = 1.0
+"""
+    p_size = proc_from_source(src.format(T="size"))
+    p_index = proc_from_source(src.format(T="index"))
+    assert compile_proc(p_size) is not compile_proc(p_index)
+    y = np.zeros(8, dtype=np.float32)
+    with pytest.raises(InterpError):
+        run_proc(p_index, backend="compiled", k=-1, y=y)
+    assert not y.any()
+
+
+def test_differential_backend_runs_and_agrees(gemv):
+    args = make_random_args(gemv, {"M": 16, "N": 16})
+    run_proc(gemv, backend="differential", **args)
+
+
+def test_unknown_backend_rejected(gemv):
+    args = make_random_args(gemv, {"M": 8, "N": 8})
+    with pytest.raises(InterpError):
+        run_proc(gemv, backend="no-such-engine", **args)
+
+
+def test_config_state_shared_between_compiled_and_fallback():
+    # Gemmini-style config writes execute through the compiled lowering and
+    # must observe one shared config dict per run
+    from repro.gemmini import make_matmul_kernel, schedule_matmul_gemmini
+
+    kernel = make_matmul_kernel(K=16)
+    sched = schedule_matmul_gemmini(kernel)
+    N = M = 16
+    mk = lambda: (
+        np.random.default_rng(0).integers(-3, 4, size=(N, 16)).astype(np.int32),
+        np.random.default_rng(1).integers(-3, 4, size=(16, M)).astype(np.int32),
+    )
+    A, B = mk()
+    C1 = np.zeros((N, M), dtype=np.int32)
+    C2 = np.zeros((N, M), dtype=np.int32)
+    run_proc(sched, backend="compiled", N=N, M=M, scale=1.0, A=A, B=B, C=C1, config_state={})
+    run_proc(sched, backend="interp", N=N, M=M, scale=1.0, A=A, B=B, C=C2, config_state={})
+    assert np.array_equal(C1, C2)
+
+
+def test_compiled_source_is_inspectable(axpy):
+    src = compiled_source(axpy)
+    assert src.startswith("def __kernel(")
