@@ -17,9 +17,9 @@ from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 import numpy as np
 
 from ..ir import nodes as N
-from ..ir.build import contains_sym
+from ..ir.build import contains_sym, copy_node, map_exprs, map_stmts
 from ..ir.syms import Sym
-from ..ir.types import ScalarType, TensorType
+from ..ir.types import ScalarType, TensorType, index_t
 
 __all__ = [
     "NP_DTYPES",
@@ -27,7 +27,12 @@ __all__ = [
     "row_major_strides",
     "flatten_index",
     "affine_decompose",
+    "biaffine_decompose",
     "provably_nonneg",
+    "InlineError",
+    "window_dims",
+    "compose_window_index",
+    "substitute_call_body",
 ]
 
 
@@ -159,6 +164,183 @@ def affine_decompose(e: N.Expr, ivar: Sym) -> Optional[Tuple[int, Optional[N.Exp
     if not contains_sym(e, ivar):
         return (0, e)
     return None
+
+
+def biaffine_decompose(
+    e: N.Expr, outer: Sym, inner: Optional[Sym]
+) -> Optional[Tuple[int, int, Optional[N.Expr]]]:
+    """Decompose ``e`` as ``a * outer + b * inner + offset``.
+
+    ``a`` and ``b`` are constant Python ints and ``offset`` is free of both
+    iterators (``None`` stands for 0).  ``inner`` may be ``None`` for
+    statements that sit directly in the outer loop (then ``b`` is 0).  Returns
+    ``None`` when the expression is not bi-affine with constant coefficients.
+    This is the analysis behind the compiled engine's outer-loop (chunked)
+    vectorisation of inlined ``@instr`` bodies.
+    """
+    if inner is not None:
+        dec = affine_decompose(e, inner)
+        if dec is None:
+            return None
+        b, rest = dec
+    else:
+        b, rest = 0, e
+    if rest is None:
+        return (0, b, None)
+    dec2 = affine_decompose(rest, outer)
+    if dec2 is None:
+        return None
+    a, off = dec2
+    if off is not None and inner is not None and contains_sym(off, inner):
+        return None
+    return (a, b, off)
+
+
+# ---------------------------------------------------------------------------
+# Call-site substitution (the core of ``inline`` and the compiled engine's
+# cross-procedure inliner)
+# ---------------------------------------------------------------------------
+
+
+class InlineError(Exception):
+    """A call site cannot be inlined (unsupported argument shape)."""
+
+
+def window_dims(w: N.WindowExpr) -> List[Tuple[str, N.Expr, Optional[N.Expr]]]:
+    """Flatten a window expression's dimensions to ``(kind, lo/pt, hi)``."""
+    out = []
+    for d in w.idx:
+        if isinstance(d, N.Interval):
+            out.append(("interval", d.lo, d.hi))
+        else:
+            out.append(("point", d.pt, None))
+    return out
+
+
+def compose_window_index(wdims, inner_idx: Sequence[N.Expr]) -> List[N.Expr]:
+    """Compose a caller window with an index list used inside the callee.
+
+    Point dimensions of the window are inserted verbatim; interval dimensions
+    consume one callee index and add the interval's lower bound (the affine
+    composition ``base[lo + i]`` that makes inlined accesses analysable by
+    :func:`affine_decompose`).
+    """
+    out: List[N.Expr] = []
+    k = 0
+    for kind, lo, _hi in wdims:
+        if kind == "point":
+            out.append(copy_node(lo))
+        else:
+            if k >= len(inner_idx):
+                raise InlineError("window rank does not match the callee access")
+            out.append(N.BinOp("+", copy_node(lo), copy_node(inner_idx[k]), index_t))
+            k += 1
+    return out
+
+
+def substitute_call_body(
+    params: Sequence[N.FnArg],
+    actuals: Sequence[N.Expr],
+    body: Sequence[N.Stmt],
+) -> List[N.Stmt]:
+    """Substitute call actuals into an (already alpha-renamed) callee body.
+
+    Tensor parameters must be bound to whole-buffer reads or window
+    expressions (accesses are rewritten onto the base buffer with composed
+    indices); scalar parameters are substituted by their actual expressions.
+    Raises :class:`InlineError` for unsupported shapes — notably a callee that
+    writes a scalar parameter bound to a non-variable expression.
+    """
+    scalar_env: Dict[Sym, N.Expr] = {}
+    buffer_env: Dict[Sym, Tuple[Sym, Optional[list]]] = {}
+    for fn_arg, actual in zip(params, actuals):
+        if isinstance(fn_arg.typ, TensorType):
+            if isinstance(actual, N.WindowExpr):
+                buffer_env[fn_arg.name] = (actual.name, window_dims(actual))
+            elif isinstance(actual, N.Read) and not actual.idx:
+                buffer_env[fn_arg.name] = (actual.name, None)
+            else:
+                raise InlineError("unsupported tensor argument at the call site")
+        else:
+            scalar_env[fn_arg.name] = actual
+
+    def interval_index(wdims, dim: int) -> int:
+        """Map a callee dimension to the base-buffer dimension it views."""
+        seen = 0
+        for d, (kind, _lo, _hi) in enumerate(wdims):
+            if kind == "interval":
+                if seen == dim:
+                    return d
+                seen += 1
+        raise InlineError("stride dimension outside the window rank")
+
+    def fix_expr(e: N.Expr) -> N.Expr:
+        if isinstance(e, N.Read) and not e.idx and e.name in scalar_env:
+            return copy_node(scalar_env[e.name])
+        if isinstance(e, (N.Read, N.WindowExpr, N.StrideExpr)) and e.name in buffer_env:
+            buf, wdims = buffer_env[e.name]
+            if isinstance(e, N.Read):
+                if not e.idx:
+                    if wdims is None:
+                        return N.Read(buf, [], e.typ)
+                    # whole-parameter read of a windowed actual: reconstruct
+                    # the window so deeper (non-inlined) calls still see it
+                    idx = [
+                        N.Interval(copy_node(lo), copy_node(hi))
+                        if kind == "interval"
+                        else N.Point(copy_node(lo))
+                        for kind, lo, hi in wdims
+                    ]
+                    return N.WindowExpr(buf, idx, e.typ)
+                idx = compose_window_index(wdims, list(e.idx)) if wdims is not None else list(e.idx)
+                return N.Read(buf, idx, e.typ)
+            if isinstance(e, N.StrideExpr):
+                # windows are unit-step views: the stride of callee dim d is
+                # the base buffer's stride at the d-th interval dimension
+                dim = e.dim if wdims is None else interval_index(wdims, e.dim)
+                return N.StrideExpr(buf, dim, e.typ)
+            # WindowExpr over a windowed argument: compose the two windows
+            if wdims is None:
+                return N.WindowExpr(buf, e.idx, e.typ)
+            new_idx: List[object] = []
+            k = 0
+            for kind, lo, _hi in wdims:
+                if kind == "point":
+                    new_idx.append(N.Point(copy_node(lo)))
+                else:
+                    if k >= len(e.idx):
+                        raise InlineError("window rank does not match the callee access")
+                    d = e.idx[k]
+                    k += 1
+                    if isinstance(d, N.Interval):
+                        new_idx.append(
+                            N.Interval(
+                                N.BinOp("+", copy_node(lo), copy_node(d.lo), index_t),
+                                N.BinOp("+", copy_node(lo), copy_node(d.hi), index_t),
+                            )
+                        )
+                    else:
+                        new_idx.append(N.Point(N.BinOp("+", copy_node(lo), copy_node(d.pt), index_t)))
+            return N.WindowExpr(buf, new_idx, e.typ)
+        return e
+
+    def fix_stmt(s: N.Stmt):
+        if isinstance(s, (N.Assign, N.Reduce)) and s.name in buffer_env:
+            buf, wdims = buffer_env[s.name]
+            s.name = buf
+            if wdims is not None:
+                s.idx = compose_window_index(wdims, list(s.idx))
+        if isinstance(s, (N.Assign, N.Reduce)) and s.name in scalar_env:
+            target = scalar_env[s.name]
+            if isinstance(target, N.Read):
+                s.name = target.name
+                s.idx = [copy_node(i) for i in target.idx]
+            else:
+                raise InlineError("callee writes a scalar argument bound to an expression")
+        return s
+
+    out = [map_exprs(s, fix_expr) for s in body]
+    return map_stmts(out, fix_stmt)
 
 
 def provably_nonneg(e: N.Expr, nonneg_syms: Set[Sym]) -> bool:

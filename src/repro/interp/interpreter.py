@@ -267,12 +267,12 @@ class _Interp:
         self.exec_stmts(proc_def.body, env)
 
 
-def _run_compiled(root, env: Dict[Sym, object], config_state) -> None:
+def _run_compiled(root, env: Dict[Sym, object], config_state, inline: Optional[bool] = None) -> None:
     """Execute through the compiled engine (raises CompileError if the whole
     procedure cannot be lowered)."""
     from .compile import _RunContext, compile_proc
 
-    engine = compile_proc(root)
+    engine = compile_proc(root, inline=inline)
     ctx = _RunContext(config_state)
     engine.run(ctx, [env[a.name] for a in root.args])
 
@@ -285,6 +285,7 @@ def run_proc(
     config_state=None,
     diff_rtol: float = 1e-4,
     diff_atol: float = 1e-5,
+    inline: Optional[bool] = None,
     **kw_args,
 ):
     """Execute a :class:`Procedure` on concrete arguments.
@@ -293,7 +294,9 @@ def run_proc(
     numpy arrays (modified in place), sizes are ints and scalars floats.
     ``backend`` selects the execution engine (see the module docstring);
     ``diff_rtol``/``diff_atol`` are the tolerances of the ``"differential"``
-    backend's cross-check.
+    backend's cross-check; ``inline`` forces the compiled engine's
+    cross-procedure inliner on or off (``None`` defers to the
+    ``REPRO_EXEC_INLINE`` environment variable, default on).
     """
     if backend is None:
         backend = _default_backend
@@ -341,7 +344,7 @@ def run_proc(
     from .compile import CompileError
 
     try:
-        _run_compiled(root, env, config_state)
+        _run_compiled(root, env, config_state, inline=inline)
     except CompileError as exc:
         if backend == "differential":
             # degrading to interpreter-vs-interpreter would make the
@@ -418,17 +421,19 @@ def check_equiv(
     rtol: float = 1e-4,
     atol: float = 1e-5,
     backend: Optional[str] = None,
+    inline: Optional[bool] = None,
 ) -> bool:
     """Run two procedures on identical random inputs and compare every tensor
     argument afterwards.  Returns True when all outputs match.  ``backend``
     selects the execution engine for both runs (default: the process default,
-    normally the compiled engine)."""
+    normally the compiled engine); ``inline`` is forwarded to the compiled
+    engine."""
     args1 = make_random_args(p1, size_env, seed=seed)
     args2 = {
         k: (v.copy() if isinstance(v, np.ndarray) else v) for k, v in make_random_args(p2, size_env, seed=seed).items()
     }
-    out1 = run_proc(p1, backend=backend, **args1)
-    out2 = run_proc(p2, backend=backend, **args2)
+    out1 = run_proc(p1, backend=backend, inline=inline, **args1)
+    out2 = run_proc(p2, backend=backend, inline=inline, **args2)
     for name, v1 in out1.items():
         if isinstance(v1, np.ndarray):
             v2 = out2[name]

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Optional, Sequence
 
 __all__ = ["ExternDef", "register_extern", "extern_by_name", "has_extern"]
 
@@ -28,6 +28,16 @@ class ExternDef:
     # engine to vectorise loops containing this extern; when None, such loops
     # fall back to the scalar lowering (which calls ``impl`` directly)
     np_template: Optional[str] = None
+
+    def np_apply(self, rendered_args: Sequence[str]) -> Optional[str]:
+        """Render the whole-array NumPy form over already-rendered argument
+        sources, or ``None`` when the extern has no vector form.  Templates
+        must be broadcasting-safe: the compiled engine applies them to 1-D
+        slices and, for inlined ``@instr`` bodies, to 2-D (chunk x lane)
+        regions alike."""
+        if self.np_template is None:
+            return None
+        return self.np_template.format(*rendered_args)
 
 
 _EXTERNS: Dict[str, ExternDef] = {}

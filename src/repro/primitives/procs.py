@@ -5,7 +5,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from ..cursors.cursor import CallCursor
 from ..errors import SchedulingError
@@ -17,13 +17,11 @@ from ..ir.build import (
     copy_node,
     copy_stmts,
     get_node,
-    map_exprs,
-    map_stmts,
     walk,
 )
 from ..ir.edit import EditSession
 from ..ir.syms import Sym
-from ..ir.types import ScalarType, TensorType, index_t
+from ..ir.types import TensorType, index_t
 from ._base import (
     require,
     scheduling_primitive,
@@ -108,102 +106,27 @@ def _stmt_lists(root):
 # ---------------------------------------------------------------------------
 
 
-def _window_dims(w: N.WindowExpr) -> List[Tuple[str, N.Expr, Optional[N.Expr]]]:
-    out = []
-    for d in w.idx:
-        if isinstance(d, N.Interval):
-            out.append(("interval", d.lo, d.hi))
-        else:
-            out.append(("point", d.pt, None))
-    return out
-
-
-def _compose_index(window_dims, inner_idx: List[N.Expr]) -> List[N.Expr]:
-    """Compose a caller window with an index list used inside the callee."""
-    out: List[N.Expr] = []
-    k = 0
-    for kind, lo, _hi in window_dims:
-        if kind == "point":
-            out.append(copy_node(lo))
-        else:
-            out.append(N.BinOp("+", copy_node(lo), copy_node(inner_idx[k]), index_t))
-            k += 1
-    return out
-
-
 @scheduling_primitive
 def inline(proc, call):
-    """Inline a call site, substituting the callee's body."""
+    """Inline a call site, substituting the callee's body.
+
+    The argument-substitution core (symbol renaming plus window/affine index
+    composition) is shared with the compiled execution engine's
+    cross-procedure inliner — see
+    :func:`repro.backend.lowering.substitute_call_body`.
+    """
+    from ..backend.lowering import InlineError, substitute_call_body
+
     c = to_stmt_cursor(proc, call, kinds=CallCursor)
     call_node = c._node()
     callee = call_node.proc
     cdef = callee._root
 
     body = alpha_rename_stmts(cdef.body)
-
-    scalar_env: Dict[Sym, N.Expr] = {}
-    buffer_env: Dict[Sym, Tuple[Sym, Optional[list]]] = {}
-    for fn_arg, actual in zip(cdef.args, call_node.args):
-        if isinstance(fn_arg.typ, TensorType):
-            if isinstance(actual, N.WindowExpr):
-                buffer_env[fn_arg.name] = (actual.name, _window_dims(actual))
-            elif isinstance(actual, N.Read) and not actual.idx:
-                buffer_env[fn_arg.name] = (actual.name, None)
-            else:
-                raise SchedulingError("inline: unsupported tensor argument at the call site")
-        else:
-            scalar_env[fn_arg.name] = actual
-
-    def fix_expr(e: N.Expr) -> N.Expr:
-        if isinstance(e, N.Read) and not e.idx and e.name in scalar_env:
-            return copy_node(scalar_env[e.name])
-        if isinstance(e, (N.Read, N.WindowExpr, N.StrideExpr)) and e.name in buffer_env:
-            buf, wdims = buffer_env[e.name]
-            if isinstance(e, N.Read):
-                idx = _compose_index(wdims, list(e.idx)) if wdims is not None else list(e.idx)
-                return N.Read(buf, idx, e.typ)
-            if isinstance(e, N.StrideExpr):
-                return N.StrideExpr(buf, e.dim, e.typ)
-            # WindowExpr over a windowed argument: compose the two windows
-            new_idx: List[object] = []
-            if wdims is None:
-                return N.WindowExpr(buf, e.idx, e.typ)
-            k = 0
-            for kind, lo, _hi in wdims:
-                if kind == "point":
-                    new_idx.append(N.Point(copy_node(lo)))
-                else:
-                    d = e.idx[k]
-                    k += 1
-                    if isinstance(d, N.Interval):
-                        new_idx.append(
-                            N.Interval(
-                                N.BinOp("+", copy_node(lo), copy_node(d.lo), index_t),
-                                N.BinOp("+", copy_node(lo), copy_node(d.hi), index_t),
-                            )
-                        )
-                    else:
-                        new_idx.append(N.Point(N.BinOp("+", copy_node(lo), copy_node(d.pt), index_t)))
-            return N.WindowExpr(buf, new_idx, e.typ)
-        return e
-
-    def fix_stmt(s: N.Stmt):
-        if isinstance(s, (N.Assign, N.Reduce)) and s.name in buffer_env:
-            buf, wdims = buffer_env[s.name]
-            s.name = buf
-            if wdims is not None:
-                s.idx = _compose_index(wdims, list(s.idx))
-        if isinstance(s, (N.Assign, N.Reduce)) and s.name in scalar_env:
-            target = scalar_env[s.name]
-            if isinstance(target, N.Read):
-                s.name = target.name
-                s.idx = [copy_node(i) for i in target.idx]
-            else:
-                raise SchedulingError("inline: callee writes a scalar argument bound to an expression")
-        return s
-
-    body = [map_exprs(s, fix_expr) for s in body]
-    body = map_stmts(body, fix_stmt)
+    try:
+        body = substitute_call_body(cdef.args, call_node.args, body)
+    except InlineError as exc:
+        raise SchedulingError(f"inline: {exc}") from None
 
     session = EditSession(proc)
     session.replace(c, body)

@@ -357,3 +357,395 @@ def test_config_state_shared_between_compiled_and_fallback():
 def test_compiled_source_is_inspectable(axpy):
     src = compiled_source(axpy)
     assert src.startswith("def __kernel(")
+
+
+# ---------------------------------------------------------------------------
+# Cross-procedure inlining + outer-loop vectorisation (ISSUE 3 tentpole)
+# ---------------------------------------------------------------------------
+
+
+def _vadd4():
+    return proc_from_source(
+        """
+def vadd4(dst: [f32][4] @ DRAM, a: [f32][4] @ DRAM, b: [f32][4] @ DRAM):
+    for i in seq(0, 4):
+        dst[i] = a[i] + b[i]
+"""
+    )
+
+
+def test_inliner_folds_chunked_call_loop_to_one_statement():
+    caller = proc_from_source(
+        """
+def chunks(n: size, x: f32[n] @ DRAM, y: f32[n] @ DRAM):
+    for io in seq(0, n / 4):
+        vadd4(y[4 * io:4 * io + 4], x[4 * io:4 * io + 4], y[4 * io:4 * io + 4])
+""",
+        {"vadd4": _vadd4()},
+    )
+    eng = compile_proc(caller, inline=True)
+    assert eng.inlined_calls == 1 and eng.vector_loops == 1 and eng.fallback_stmts == 0
+    assert "range(" not in eng.source and "](__ctx" not in eng.source
+    a1, a2 = _both(caller, {"n": 103})  # non-multiple: tail elements untouched
+    assert np.array_equal(a1["y"], a2["y"])
+
+
+def test_inline_knob_forced_off_keeps_call_path_and_agrees():
+    caller = proc_from_source(
+        """
+def chunks(n: size, x: f32[n] @ DRAM, y: f32[n] @ DRAM):
+    for io in seq(0, n / 4):
+        vadd4(y[4 * io:4 * io + 4], x[4 * io:4 * io + 4], y[4 * io:4 * io + 4])
+""",
+        {"vadd4": _vadd4()},
+    )
+    on = compile_proc(caller, inline=True)
+    off = compile_proc(caller, inline=False)
+    assert on is not off  # the knob is part of the cache key
+    assert off.inlined_calls == 0 and "](__ctx" in off.source
+    args = make_random_args(caller, {"n": 64})
+    run_proc(caller, backend="differential", inline=False, **args)
+    run_proc(caller, backend="differential", inline=True, **make_random_args(caller, {"n": 64}))
+
+
+def test_inline_env_knob(monkeypatch):
+    from repro.interp import clear_compile_cache
+
+    caller = proc_from_source(
+        """
+def chunks(n: size, x: f32[n] @ DRAM, y: f32[n] @ DRAM):
+    for io in seq(0, n / 4):
+        vadd4(y[4 * io:4 * io + 4], x[4 * io:4 * io + 4], y[4 * io:4 * io + 4])
+""",
+        {"vadd4": _vadd4()},
+    )
+    monkeypatch.setenv("REPRO_EXEC_INLINE", "0")
+    clear_compile_cache()
+    assert compile_proc(caller).inlined_calls == 0
+    monkeypatch.setenv("REPRO_EXEC_INLINE", "1")
+    assert compile_proc(caller).inlined_calls == 1
+
+
+def test_scheduled_saxpy_has_no_per_chunk_python_calls():
+    # the ISSUE-3 acceptance shape: the scheduled kernel compiles to
+    # whole-array statements — no Python-level call and no loop per chunk
+    from repro.blas import LEVEL1_KERNELS, optimize_level_1
+    from repro.machines import AVX2
+
+    sched = optimize_level_1(LEVEL1_KERNELS["saxpy"], "i", "f32", AVX2, 2)
+    eng = compile_proc(sched, inline=True)
+    assert eng.inlined_calls > 0 and eng.fallback_stmts == 0
+    assert "](__ctx" not in eng.source  # zero per-chunk Python calls
+    assert "range(" not in eng.source  # zero Python-level loops
+    args = make_random_args(sched, {"n": 65536})
+    run_proc(sched, backend="differential", **args)
+
+
+def test_inliner_declines_scalar_cell_window_actual():
+    # a window of a scalar cell (the interpreter's 0-d reshape(1) special
+    # case) is not an inlinable tensor actual: the call path must survive
+    callee = proc_from_source(
+        """
+def bump(dst: [f32][1] @ DRAM):
+    dst[0] += 1.0
+"""
+    )
+    caller = proc_from_source(
+        """
+def cellpass(y: f32[4] @ DRAM):
+    acc: f32 @ DRAM
+    acc = 0.0
+    bump(acc[0:1])
+    y[0] = acc
+""",
+        {"bump": callee},
+    )
+    eng = compile_proc(caller, inline=True)
+    assert eng.inlined_calls == 0
+    a1, a2 = _both(caller, {})
+    assert np.array_equal(a1["y"], a2["y"])
+    assert a1["y"][0] == 1.0
+
+
+def test_inliner_declines_scalar_actual_aliasing_written_tensor():
+    # the interpreter evaluates alpha = y[0] ONCE at call time; textual
+    # substitution would re-read y[0] after the callee overwrites it
+    scale = proc_from_source(
+        """
+def scale4(dst: [f32][4] @ DRAM, alpha: f32):
+    for i in seq(0, 4):
+        dst[i] = dst[i] * alpha
+"""
+    )
+    caller = proc_from_source(
+        """
+def aliased(y: f32[4] @ DRAM):
+    scale4(y[0:4], y[0])
+""",
+        {"scale4": scale},
+    )
+    eng = compile_proc(caller, inline=True)
+    assert eng.inlined_calls == 0  # declined: actual reads a written base
+    a1 = {"y": np.arange(2.0, 6.0, dtype=np.float32)}
+    a2 = {"y": a1["y"].copy()}
+    run_proc(caller, backend="compiled", **a1)
+    run_proc(caller, backend="interp", **a2)
+    assert np.array_equal(a1["y"], a2["y"])
+
+
+def test_outer_vectorizer_rejects_lane_shifted_temp_dependence():
+    # w[i+1] = w[i] propagates sequentially lane by lane; the folded
+    # whole-array copy would not — the loop must stay scalar
+    lanes = proc_from_source(
+        """
+def laneshift(dst: [f32][4] @ DRAM, src: [f32][4] @ DRAM):
+    w: f32[5] @ DRAM
+    w[0] = src[0]
+    for i in seq(0, 4):
+        w[i + 1] = w[i]
+    for i in seq(0, 4):
+        dst[i] = w[i + 1]
+"""
+    )
+    caller = proc_from_source(
+        """
+def propagate(n: size, x: f32[n] @ DRAM, y: f32[n] @ DRAM):
+    for io in seq(0, n / 4):
+        laneshift(y[4 * io:4 * io + 4], x[4 * io:4 * io + 4])
+""",
+        {"laneshift": lanes},
+    )
+    eng = compile_proc(caller, inline=True)
+    assert "range(" in eng.source  # the chunk loop must stay scalar
+    a1, a2 = _both(caller, {"n": 16})
+    assert np.array_equal(a1["y"], a2["y"])
+
+
+def test_inliner_declines_short_window_extent():
+    # the interpreter errors on a callee access past the window VIEW even
+    # when it stays inside the base buffer; a composed (inlined) access
+    # would not — the inliner must prove the extent covers the callee shape
+    vadd = _vadd4()
+    short = proc_from_source(
+        """
+def shortwin(y: f32[8] @ DRAM, x: f32[8] @ DRAM):
+    vadd4(y[0:2], x[0:4], y[0:4])
+""",
+        {"vadd4": vadd},
+    )
+    eng = compile_proc(short, inline=True)
+    assert eng.inlined_calls == 0
+    for backend in ("interp", "compiled"):
+        args = make_random_args(short, {})
+        with pytest.raises(InterpError):
+            run_proc(short, backend=backend, **args)
+
+    neg = proc_from_source(
+        """
+def negwin(m: size, y: f32[8] @ DRAM, x: f32[8] @ DRAM):
+    vadd4(y[0:m - 8], x[0:4], y[0:4])
+""",
+        {"vadd4": vadd},
+    )
+    assert compile_proc(neg, inline=True).inlined_calls == 0
+    for backend in ("interp", "compiled"):
+        args = make_random_args(neg, {"m": 4})
+        with pytest.raises(InterpError):
+            run_proc(neg, backend=backend, **args)
+
+
+def test_outer_vectorizer_scales_lane_invariant_reduction():
+    # each chunk adds x[io] once per LANE: the folded sum must carry the
+    # lane-count multiplicity
+    p = proc_from_source(
+        """
+def lanesum(n: size, x: f32[n] @ DRAM, acc: f32[1] @ DRAM):
+    for io in seq(0, n):
+        for ii in seq(0, 4):
+            acc[0] += x[io]
+"""
+    )
+    eng = compile_proc(p)
+    assert eng.vector_loops == 1 and "range(" not in eng.source
+    a1, a2 = _both(p, {"n": 97})
+    assert np.allclose(a1["acc"], a2["acc"], rtol=1e-4)
+    # against zeroed accumulators the sum must carry the x4 multiplicity
+    acc = np.zeros(1, dtype=np.float32)
+    run_proc(p, backend="compiled", n=8, x=np.ones(8, dtype=np.float32), acc=acc)
+    assert acc[0] == 32.0
+
+
+def test_outer_vectorizer_trip1_leaf_loop_broadcasts_correctly():
+    # a trip-1 leaf loop yields (chunks, 1) regions; they must flatten to
+    # (chunks,) before composing with chunk-axis operands, or the product
+    # broadcasts to (chunks, chunks) and the reduction silently explodes
+    p = proc_from_source(
+        """
+def t1(n: size, x: f32[2 * n] @ DRAM, y: f32[n] @ DRAM, out: f32[1] @ DRAM):
+    for io in seq(0, n):
+        for ii in seq(0, 1):
+            out[0] += x[2 * io + ii] * y[io]
+"""
+    )
+    # inline=False keeps the trip-1 loop (the inliner's collapse never runs)
+    eng = compile_proc(p, inline=False)
+    assert eng.vector_loops == 1 and "range(" not in eng.source
+    x = np.arange(12, dtype=np.float32)
+    o1 = np.zeros(1, np.float32)
+    o2 = np.zeros(1, np.float32)
+    run_proc(p, backend="compiled", inline=False, n=6, x=x, y=np.ones(6, np.float32), out=o1)
+    run_proc(p, backend="interp", n=6, x=x.copy(), y=np.ones(6, np.float32), out=o2)
+    assert np.allclose(o1, o2) and o1[0] == 30.0
+
+
+def test_outer_vectorizer_rejects_same_loop_conflicting_writes():
+    # two writes in ONE leaf loop interleave per lane sequentially; folding
+    # runs statement 1 for all lanes first, reversing the write order on
+    # overlapping lanes — must fall back
+    wr2 = proc_from_source(
+        """
+def wr2(dst: [f32][8] @ DRAM, s1: [f32][8] @ DRAM, s2: [f32][8] @ DRAM):
+    for i in seq(0, 3):
+        dst[i] = s1[i]
+        dst[2 * i] = s2[i]
+"""
+    )
+    caller = proc_from_source(
+        """
+def ww(n: size, y: f32[n] @ DRAM, a: f32[n] @ DRAM, b: f32[n] @ DRAM):
+    for io in seq(0, n / 8):
+        wr2(y[8 * io:8 * io + 8], a[8 * io:8 * io + 8], b[8 * io:8 * io + 8])
+""",
+        {"wr2": wr2},
+    )
+    eng = compile_proc(caller, inline=True)
+    assert "range(" in eng.source  # the chunk loop must stay scalar
+    a1, a2 = _both(caller, {"n": 16})
+    assert np.array_equal(a1["y"], a2["y"])
+
+
+def test_outer_vectorizer_rejects_chunk_carried_dependence():
+    shift = proc_from_source(
+        """
+def vshift(dst: [f32][4] @ DRAM, src: [f32][4] @ DRAM):
+    for i in seq(0, 4):
+        dst[i] = src[i]
+"""
+    )
+    # chunk io reads the last element chunk io-1 wrote: folding the outer
+    # loop would read stale data, so the loop must stay a Python loop
+    caller = proc_from_source(
+        """
+def carried(n: size, y: f32[n] @ DRAM):
+    for io in seq(0, n / 4 - 1):
+        vshift(y[4 * io + 4:4 * io + 8], y[4 * io + 1:4 * io + 5])
+""",
+        {"vshift": shift},
+    )
+    eng = compile_proc(caller, inline=True)
+    assert eng.inlined_calls == 1
+    assert "range(" in eng.source  # outer loop survives
+    a1, a2 = _both(caller, {"n": 32})
+    assert np.array_equal(a1["y"], a2["y"])
+
+
+def test_outer_vectorizer_invariant_reduction_sums_over_chunks():
+    fma = proc_from_source(
+        """
+def vfma4(dst: [f32][4] @ DRAM, a: [f32][4] @ DRAM, b: [f32][4] @ DRAM):
+    for i in seq(0, 4):
+        dst[i] += a[i] * b[i]
+"""
+    )
+    caller = proc_from_source(
+        """
+def dotchunks(n: size, x: f32[n] @ DRAM, y: f32[n] @ DRAM, acc: f32[4] @ DRAM):
+    for io in seq(0, n / 4):
+        vfma4(acc[0:4], x[4 * io:4 * io + 4], y[4 * io:4 * io + 4])
+""",
+        {"vfma4": fma},
+    )
+    eng = compile_proc(caller, inline=True)
+    assert eng.inlined_calls == 1 and "range(" not in eng.source
+    assert ".sum(axis=0" in eng.source
+    a1, a2 = _both(caller, {"n": 4096})
+    assert np.allclose(a1["acc"], a2["acc"], rtol=1e-4)
+
+
+# ---------------------------------------------------------------------------
+# Masked-guard and tail-peel lowering (satellite)
+# ---------------------------------------------------------------------------
+
+
+def test_masked_guard_lowers_to_clipped_slice():
+    p = proc_from_source(
+        """
+def maskstore(n: size, vw: size, base: index, bound: size, dst: f32[n] @ DRAM, src: f32[n] @ DRAM):
+    for i in seq(0, vw):
+        if base + i < bound:
+            dst[i] = src[i]
+"""
+    )
+    eng = compile_proc(p)
+    assert eng.vector_loops == 1 and eng.fallback_stmts == 0
+    assert "range(" not in eng.source and "min(" in eng.source
+    for base, bound in ((0, 8), (0, 3), (5, 3), (3, 100), (0, 0)):
+        a1 = make_random_args(p, {"n": 8, "vw": 8, "base": base, "bound": bound})
+        a2 = {k: (v.copy() if isinstance(v, np.ndarray) else v) for k, v in a1.items()}
+        run_proc(p, backend="compiled", **a1)
+        run_proc(p, backend="interp", **a2)
+        assert np.array_equal(a1["dst"], a2["dst"]), (base, bound)
+
+
+def test_lower_bound_guard_peels_prefix():
+    p = proc_from_source(
+        """
+def tailset(n: size, start: size, y: f32[n] @ DRAM):
+    for i in seq(0, n):
+        if i >= start:
+            y[i] = 1.0
+"""
+    )
+    eng = compile_proc(p)
+    assert eng.vector_loops == 1 and "max(" in eng.source
+    for start in (0, 3, 8, 100):
+        a1 = make_random_args(p, {"n": 8, "start": start})
+        a2 = {k: (v.copy() if isinstance(v, np.ndarray) else v) for k, v in a1.items()}
+        run_proc(p, backend="compiled", **a1)
+        run_proc(p, backend="interp", **a2)
+        assert np.array_equal(a1["y"], a2["y"]), start
+
+
+def test_masked_reduction_clips_sum_range():
+    p = proc_from_source(
+        """
+def maskdot(n: size, bound: size, x: f32[n] @ DRAM, y: f32[n] @ DRAM, result: f32[1] @ DRAM):
+    for i in seq(0, n):
+        if i < bound:
+            result[0] += x[i] * y[i]
+"""
+    )
+    eng = compile_proc(p)
+    assert eng.vector_loops == 1 and ".sum(" in eng.source
+    for bound in (0, 7, 64, 10_000):
+        a1 = make_random_args(p, {"n": 64, "bound": bound})
+        a2 = {k: (v.copy() if isinstance(v, np.ndarray) else v) for k, v in a1.items()}
+        run_proc(p, backend="compiled", **a1)
+        run_proc(p, backend="interp", **a2)
+        assert np.allclose(a1["result"], a2["result"], rtol=1e-4), bound
+
+
+def test_value_dependent_guard_still_falls_back():
+    # a guard on loaded data is not affine in the iterator: scalar loop
+    p = proc_from_source(
+        """
+def datadep(n: size, x: f32[n] @ DRAM, y: f32[n] @ DRAM):
+    for i in seq(0, n):
+        if x[i] < 0.5:
+            y[i] = 0.0
+"""
+    )
+    eng = compile_proc(p)
+    assert eng.vector_loops == 0 and "range(" in eng.source
+    a1, a2 = _both(p, {"n": 40})
+    assert np.array_equal(a1["y"], a2["y"])

@@ -31,10 +31,10 @@ def _l2_sizes(name):
     return dict(L2_SIZES) if ("gemv" in name or "ger" in name) else {"N": 33}
 
 
-def _diff(proc, size_env, seed=0, **extra):
+def _diff(proc, size_env, seed=0, inline=None, **extra):
     args = make_random_args(proc, size_env, seed=seed)
     args.update(extra)
-    run_proc(proc, backend="differential", **args)
+    run_proc(proc, backend="differential", inline=inline, **args)
 
 
 # ---------------------------------------------------------------------------
@@ -53,36 +53,46 @@ def test_level2_unscheduled_differential(name):
 
 
 # ---------------------------------------------------------------------------
-# BLAS, scheduled (vectorised + unrolled) versions
+# BLAS, scheduled (vectorised + unrolled) versions — every kernel, both SIMD
+# targets, with the compiled engine's cross-procedure inliner forced on AND
+# forced off (the two compiled code paths are entirely different: inlined
+# kernels run through the outer-loop vectoriser, non-inlined ones through
+# recursively compiled @instr callees)
 # ---------------------------------------------------------------------------
 
+MACHINES = {"AVX2": AVX2, "AVX512": AVX512}
 
-@pytest.fixture(scope="module")
-def scheduled_level1():
+
+@pytest.fixture(scope="module", params=sorted(MACHINES))
+def l1_machine_schedules(request):
+    machine = MACHINES[request.param]
     out = {}
     for name, kernel in LEVEL1_KERNELS.items():
         prec = "f64" if name.startswith("d") else "f32"
-        out[name] = optimize_level_1(kernel, "i", prec, AVX2, 2)
+        out[name] = optimize_level_1(kernel, "i", prec, machine, 2)
     return out
 
 
-@pytest.fixture(scope="module")
-def scheduled_level2():
+@pytest.fixture(scope="module", params=sorted(MACHINES))
+def l2_machine_schedules(request):
+    machine = MACHINES[request.param]
     out = {}
     for name, kernel in LEVEL2_KERNELS.items():
         prec = "f64" if name.startswith("d") else "f32"
-        out[name] = optimize_level_2_general(kernel, "i", prec, AVX2, 2, 2)
+        out[name] = optimize_level_2_general(kernel, "i", prec, machine, 2, 2)
     return out
 
 
+@pytest.mark.parametrize("inline", [True, False], ids=["inline", "noinline"])
 @pytest.mark.parametrize("name", all_level1_names())
-def test_level1_scheduled_differential(name, scheduled_level1):
-    _diff(scheduled_level1[name], L1_SIZES)
+def test_level1_scheduled_differential(name, inline, l1_machine_schedules):
+    _diff(l1_machine_schedules[name], L1_SIZES, inline=inline)
 
 
+@pytest.mark.parametrize("inline", [True, False], ids=["inline", "noinline"])
 @pytest.mark.parametrize("name", all_level2_names())
-def test_level2_scheduled_differential(name, scheduled_level2):
-    _diff(scheduled_level2[name], _l2_sizes(name))
+def test_level2_scheduled_differential(name, inline, l2_machine_schedules):
+    _diff(l2_machine_schedules[name], _l2_sizes(name), inline=inline)
 
 
 # ---------------------------------------------------------------------------
@@ -152,7 +162,7 @@ def test_differential_mode_detects_divergence(monkeypatch):
     p = LEVEL1_KERNELS["sscal"]
     engine = C.compile_proc(p)
     bad = C.CompiledProc(engine.name, engine.source, lambda ctx, n, alpha, x: None, 0, 0)
-    monkeypatch.setattr(C, "compile_proc", lambda _p: bad)
+    monkeypatch.setattr(C, "compile_proc", lambda _p, **_kw: bad)
     args = make_random_args(p, {"n": 16})
     with pytest.raises(DifferentialError):
         run_proc(p, backend="differential", **args)
@@ -164,7 +174,7 @@ def test_differential_mode_refuses_to_degrade(monkeypatch):
     from repro.interp import CompileError, DifferentialError
     from repro.interp import compile as C
 
-    def boom(_p):
+    def boom(_p, **_kw):
         raise CompileError("forced")
 
     monkeypatch.setattr(C, "compile_proc", boom)
