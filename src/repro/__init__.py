@@ -5,10 +5,15 @@ The package provides:
 * an object language (``@proc`` / ``@instr``) with a pure-Python front-end,
 * Cursors — multiple, stable, relative references into object code,
 * ~46 fine-grained, safety-checked scheduling primitives,
+* ``repro.api`` — schedules as first-class values: every primitive lifted
+  into curried ``Schedule`` form on the ``S`` namespace, combinators
+  (``seq``/``try_``/``at``/traversals), named knobs, JSON-serializable
+  traces with replay, and a replay cache,
 * user-space scheduling libraries (``repro.stdlib``, ``repro.blas``,
-  ``repro.halide``, ``repro.gemmini``) built from those primitives,
-* an interpreter, a C backend, machine models, and a performance model used to
-  reproduce the paper's evaluation.
+  ``repro.halide``, ``repro.gemmini``) built from those primitives and
+  expressed as Schedule values,
+* an interpreter, a compiled NumPy execution engine, a C backend, machine
+  models, and a performance model used to reproduce the paper's evaluation.
 
 Quickstart::
 
@@ -44,6 +49,22 @@ from .ir.memories import DRAM, DRAM_STACK, DRAM_STATIC, Memory, MemoryKind
 from .primitives import *  # noqa: F401,F403 - the scheduling primitives
 from .primitives import __all__ as _primitives_all
 
+# the first-class schedule surface (combinators live in repro.api to avoid
+# name collisions with repro.lang's object-code builders)
+from .api import (
+    S,
+    Knob,
+    ReplayCache,
+    Schedule,
+    Trace,
+    knob,
+    lift_op,
+    register_op,
+    replay,
+    sched,
+    schedule_cache,
+)
+
 __version__ = "1.0.0"
 
 __all__ = [
@@ -51,6 +72,17 @@ __all__ = [
     "proc",
     "instr",
     "proc_from_source",
+    "S",
+    "Schedule",
+    "knob",
+    "Knob",
+    "sched",
+    "lift_op",
+    "register_op",
+    "Trace",
+    "replay",
+    "ReplayCache",
+    "schedule_cache",
     "Config",
     "new_config",
     "Memory",

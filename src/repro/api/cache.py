@@ -1,0 +1,77 @@
+"""The schedule replay cache.
+
+Scheduling is pure: the same :class:`Schedule` (same fingerprint, same knob
+values) applied to structurally identical object code always yields
+structurally identical output.  The :class:`ReplayCache` exploits this by
+keying ``(struct_hash(proc), schedule fingerprint)`` to the scheduled result
+and its trace, so repeated scheduling in benchmarks, tests, and batch kernel
+generation is near-free.
+
+The key uses :func:`repro.ir.build.struct_hash`, which is a pure function of
+the tree's structure — its *value* is stable across edit epochs (the epoch
+only scopes the per-node memo), so a cache entry keeps hitting after
+unrelated procedures have been edited.
+
+Caveat: a cache hit returns the procedure object produced by the *original*
+application, so its provenance chain (for ``forward``) anchors at the original
+input, not at the structurally-equal procedure you passed in.  Cursor-free
+consumers (execution, code generation, metrics) are unaffected.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..core.procedure import Procedure
+from ..ir.build import struct_hash
+
+__all__ = ["ReplayCache", "schedule_cache"]
+
+
+class ReplayCache:
+    """An in-memory map from ``(proc struct_hash, schedule fingerprint)`` to
+    ``(scheduled Procedure, Trace)``, with hit/miss accounting."""
+
+    def __init__(self, maxsize: Optional[int] = None):
+        self._store: Dict[Tuple[int, str], Tuple[Procedure, object]] = {}
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def key(proc: Procedure, fingerprint: str) -> Tuple[int, str]:
+        return (struct_hash(proc._root), fingerprint)
+
+    def get(self, proc: Procedure, fingerprint: str):
+        """The cached ``(Procedure, Trace)`` pair, or ``None`` (counted)."""
+        hit = self._store.get(self.key(proc, fingerprint))
+        if hit is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return hit
+
+    def put(self, proc: Procedure, fingerprint: str, result: Procedure, trace) -> None:
+        if self.maxsize is not None and len(self._store) >= self.maxsize:
+            # drop the oldest entry (dict preserves insertion order)
+            self._store.pop(next(iter(self._store)), None)
+        self._store[self.key(proc, fingerprint)] = (result, trace)
+
+    def clear(self) -> None:
+        self._store.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def stats(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses, "entries": len(self._store)}
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def __repr__(self) -> str:
+        return f"<ReplayCache {len(self)} entries, {self.hits} hits / {self.misses} misses>"
+
+
+#: Process-wide default cache; pass ``cache=schedule_cache`` to
+#: ``Schedule.apply`` (benchmarks and batch kernel generation do).
+schedule_cache = ReplayCache()

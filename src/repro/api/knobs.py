@@ -1,0 +1,119 @@
+"""Named schedule parameters ("knobs").
+
+A :class:`Knob` is a placeholder value that can appear anywhere in a
+:class:`~repro.api.schedule.Schedule`'s arguments —
+``S.divide_loop('i', knob('tile', 8), ['io', 'ii'])`` — and is resolved to a
+concrete value when the schedule is *applied*.  This is what makes a single
+``Schedule`` value sweepable: the same object applied with different knob
+environments yields differently-parameterised object code, which is the
+substrate an autotuner searches over.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Sequence, Set
+
+from ..errors import ExoError
+
+__all__ = ["Knob", "KnobError", "knob", "resolve_value", "collect_knobs"]
+
+
+class KnobError(ExoError):
+    """A knob could not be resolved (unbound, unknown, or outside its
+    choices).  Deliberately *not* a :class:`SchedulingError`: recovery
+    combinators (``try_``/``or_else``/traversals) treat scheduling failures
+    as recoverable, but a knob-configuration mistake must surface, not turn
+    a sweep into a silent no-op."""
+
+
+class Knob:
+    """A named, defaultable schedule parameter.
+
+    Parameters
+    ----------
+    name:
+        The key under which a value is looked up in the knob environment
+        passed to ``Schedule.apply``.
+    default:
+        Value used when the environment does not bind ``name``.  Without a
+        default, applying the schedule without binding the knob raises
+        :class:`SchedulingError`.
+    choices:
+        Optional whitelist of admissible values (the sweep domain an
+        autotuner would enumerate); resolution validates against it.
+    """
+
+    __slots__ = ("name", "default", "choices")
+
+    def __init__(self, name: str, default=None, choices: Optional[Sequence] = None):
+        if not isinstance(name, str) or not name:
+            raise TypeError("knob name must be a non-empty string")
+        self.name = name
+        self.default = default
+        self.choices = tuple(choices) if choices is not None else None
+
+    def resolve(self, env: Optional[Dict[str, object]]):
+        if env is not None and self.name in env:
+            val = env[self.name]
+        elif self.default is not None:
+            val = self.default
+        else:
+            raise KnobError(
+                f"knob {self.name!r} has no default and no value was supplied "
+                f"(pass knobs={{'{self.name}': ...}} to apply)"
+            )
+        if self.choices is not None and val not in self.choices:
+            raise KnobError(
+                f"knob {self.name!r}: value {val!r} not in choices {list(self.choices)}"
+            )
+        return val
+
+    def __repr__(self) -> str:
+        extra = f", default={self.default!r}" if self.default is not None else ""
+        if self.choices is not None:
+            extra += f", choices={list(self.choices)!r}"
+        return f"knob({self.name!r}{extra})"
+
+    # Knobs are identified by name for fingerprinting/deduplication
+    def __hash__(self):
+        return hash(("knob", self.name))
+
+    def __eq__(self, other):
+        return isinstance(other, Knob) and other.name == self.name
+
+
+def knob(name: str, default=None, choices: Optional[Sequence] = None) -> Knob:
+    """Declare a named knob (see :class:`Knob`)."""
+    return Knob(name, default=default, choices=choices)
+
+
+def resolve_value(value, env: Optional[Dict[str, object]], leaf=None):
+    """Substitute every :class:`Knob` inside ``value`` (recursing through
+    lists, tuples, and dicts) with its resolved concrete value.
+
+    ``leaf`` optionally transforms every non-knob, non-container value — the
+    schedule engine uses it to resolve focus placeholders in the same pass."""
+    if isinstance(value, Knob):
+        return value.resolve(env)
+    if isinstance(value, list):
+        return [resolve_value(v, env, leaf) for v in value]
+    if isinstance(value, tuple):
+        return tuple(resolve_value(v, env, leaf) for v in value)
+    if isinstance(value, dict):
+        return {k: resolve_value(v, env, leaf) for k, v in value.items()}
+    return leaf(value) if leaf is not None else value
+
+
+def collect_knobs(value, out: Optional[Set[Knob]] = None) -> Set[Knob]:
+    """All knobs appearing (recursively) inside ``value``."""
+    if out is None:
+        out = set()
+    if isinstance(value, Knob):
+        out.add(value)
+    elif isinstance(value, (list, tuple)):
+        for v in value:
+            collect_knobs(v, out)
+    elif isinstance(value, dict):
+        for v in value.values():
+            collect_knobs(v, out)
+    return out

@@ -1,0 +1,643 @@
+"""First-class, composable schedules.
+
+The paper's thesis is that scheduling languages are *grown in user space*
+from fine-grained primitives.  This module reifies that user space: a
+:class:`Schedule` is a value describing a transformation pipeline, built from
+
+* **lifted primitives** — every ``@scheduling_primitive`` in the registry is
+  available in curried form on the :data:`S` namespace
+  (``S.divide_loop('i', 8, ['io', 'ii'])`` returns a ``Schedule``), and
+  library operations register themselves with :func:`register_op` to appear
+  alongside them (``S.vectorize``, ``S.tile2D``, …),
+* **combinators** — :func:`seq` (also ``a >> b``), :func:`try_` /
+  :func:`or_else` (also ``a | b``), :func:`repeat_until_fail`,
+  :func:`at` (re-anchor on a pattern/cursor), and the traversal combinators
+  :func:`topdown` / :func:`bottomup` / :func:`innermost_loops` absorbed from
+  the ELEVATE reproduction in :mod:`repro.stdlib.elevate`,
+* **named knobs** — :func:`~repro.api.knobs.knob` placeholders resolved at
+  apply time, making one ``Schedule`` value a whole parameter family.
+
+Applying a schedule (``p >> sched`` / ``sched.apply(p, knobs={...})``)
+produces the transformed procedure and a structured :class:`~repro.api.trace.
+Trace` that serializes to JSON and replays; results are memoisable in a
+:class:`~repro.api.cache.ReplayCache` keyed on ``(proc struct_hash, schedule
+fingerprint)``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..core.procedure import Procedure
+from ..cursors.cursor import Cursor, ForCursor, InvalidCursor
+from ..errors import InvalidCursorError, SchedulingError
+from ..primitives import _base as _prim_base
+from .knobs import Knob, KnobError, collect_knobs, resolve_value
+from .serialize import encode_arg
+from .trace import Trace, TraceRecorder, state_hash
+
+__all__ = [
+    "Schedule",
+    "Step",
+    "S",
+    "HERE",
+    "here",
+    "register_op",
+    "lift_op",
+    "sched",
+    "seq",
+    "try_",
+    "or_else",
+    "repeat_until_fail",
+    "at",
+    "topdown",
+    "bottomup",
+    "innermost_loops",
+]
+
+
+# ---------------------------------------------------------------------------
+# The focus placeholder
+# ---------------------------------------------------------------------------
+
+
+class here:
+    """Placeholder for the cursor a schedule is currently anchored at.
+
+    ``HERE`` resolves to the focus cursor established by :func:`at` or a
+    traversal combinator; ``here(lambda c: c.after())`` resolves to a
+    navigation from it.  The focus is forwarded into the current procedure
+    before each use, so edits between steps are transparent.
+    """
+
+    def __init__(self, nav: Optional[Callable] = None, label: str = "HERE"):
+        self._nav = nav
+        self._label = label
+
+    def _resolve(self, proc: Procedure, focus):
+        if focus is None:
+            raise SchedulingError(
+                "HERE used outside of an at(...)/traversal combinator — no focus cursor is bound"
+            )
+        cur = focus
+        if isinstance(cur, Cursor) and cur._proc is not proc:
+            cur = proc.forward(cur)
+        if isinstance(cur, InvalidCursor):
+            raise InvalidCursorError("the schedule's focus cursor was invalidated")
+        return self._nav(cur) if self._nav is not None else cur
+
+    def __repr__(self) -> str:
+        return self._label
+
+
+#: The bare focus cursor (see :class:`here`).
+HERE = here()
+
+
+class _Ctx:
+    """Per-application state threaded through combinators."""
+
+    __slots__ = ("knobs", "focus")
+
+    def __init__(self, knobs: Optional[Dict[str, object]] = None, focus=None):
+        self.knobs = knobs
+        self.focus = focus
+
+    def with_focus(self, focus) -> "_Ctx":
+        return _Ctx(self.knobs, focus)
+
+
+def _resolve_args(value, proc: Procedure, ctx: _Ctx):
+    """Resolve knobs and focus placeholders inside an argument tree."""
+    return resolve_value(
+        value,
+        ctx.knobs,
+        leaf=lambda v: v._resolve(proc, ctx.focus) if isinstance(v, here) else v,
+    )
+
+
+_HEX_ADDR = re.compile(r"0x[0-9a-fA-F]+")
+
+
+def _fn_token(fn) -> str:
+    """A process-stable identity for a callable: module-qualified name, plus
+    the source line for lambdas/closures so distinct ones do not collide."""
+    mod = getattr(fn, "__module__", "?")
+    qn = getattr(fn, "__qualname__", getattr(fn, "__name__", None))
+    if qn is None:
+        return _HEX_ADDR.sub("0x", repr(fn))
+    code = getattr(fn, "__code__", None)
+    loc = f":{code.co_firstlineno}" if code is not None and "<lambda>" in qn else ""
+    return f"{mod}.{qn}{loc}"
+
+
+def _fp_encode(value):
+    """Canonicalise an argument for fingerprinting (process-stable)."""
+    if isinstance(value, here):
+        return {"$here": _fn_token(value._nav) if value._nav else None}
+    if callable(value) and not isinstance(value, type):
+        return {"$fn": _fn_token(value)}
+    if isinstance(value, (list, tuple)):
+        return [_fp_encode(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _fp_encode(v) for k, v in value.items()}
+    enc = encode_arg(value, None)
+    if isinstance(enc, dict) and "$opaque" in enc:
+        # strip memory addresses so reprs are stable across processes
+        return {"$opaque": _HEX_ADDR.sub("0x", enc["$opaque"])}
+    return enc
+
+
+# ---------------------------------------------------------------------------
+# Schedule and its combinator node types
+# ---------------------------------------------------------------------------
+
+
+class Schedule:
+    """A first-class, composable scheduling transformation (abstract base).
+
+    Compose with ``a >> b`` (sequencing) and ``a | b`` (fallback); apply with
+    ``p >> sched``, :meth:`apply`, or :meth:`apply_traced`.
+    """
+
+    # -- application -----------------------------------------------------------
+
+    def apply(
+        self,
+        proc: Procedure,
+        knobs: Optional[Dict[str, object]] = None,
+        *,
+        cache=None,
+        **knob_kwargs,
+    ) -> Procedure:
+        """Apply this schedule to ``proc`` and return the new procedure.
+
+        ``knobs`` (or keyword arguments) bind knob values; ``cache`` is an
+        optional :class:`~repro.api.cache.ReplayCache`.
+        """
+        return self.apply_traced(proc, knobs, cache=cache, **knob_kwargs)[0]
+
+    def apply_traced(
+        self,
+        proc: Procedure,
+        knobs: Optional[Dict[str, object]] = None,
+        *,
+        cache=None,
+        **knob_kwargs,
+    ) -> Tuple[Procedure, Trace]:
+        """Like :meth:`apply`, but also return the structured :class:`Trace`."""
+        if not isinstance(proc, Procedure):
+            raise TypeError(f"Schedule.apply: expected a Procedure, got {type(proc).__name__}")
+        env = dict(knobs or {})
+        env.update(knob_kwargs)
+        if env:
+            declared = {k.name for k in self.knobs()}
+            unknown = sorted(set(env) - declared)
+            if unknown:
+                import difflib
+
+                hints = []
+                for name in unknown:
+                    close = difflib.get_close_matches(name, declared, n=1, cutoff=0.5)
+                    hints.append(f"{name!r}" + (f" (did you mean {close[0]!r}?)" if close else ""))
+                raise KnobError(
+                    f"unknown knob(s) {', '.join(hints)}; this schedule declares "
+                    f"{sorted(declared) if declared else 'no knobs'}"
+                )
+        fp = self.fingerprint(env)
+        if cache is not None:
+            hit = cache.get(proc, fp)
+            if hit is not None:
+                return hit
+        recorder = TraceRecorder()
+        with recorder:
+            out = self._run(proc, _Ctx(knobs=env))
+        trace = recorder.trace
+        trace.schedule = self.describe()
+        trace.fingerprint = fp
+        trace.proc_name = proc.name()
+        trace.initial = state_hash(proc)
+        trace.final = state_hash(out)
+        if cache is not None:
+            cache.put(proc, fp, out, trace)
+        return out, trace
+
+    def _run(self, proc: Procedure, ctx: _Ctx) -> Procedure:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    # -- introspection ---------------------------------------------------------
+
+    def knobs(self) -> Set[Knob]:
+        """All knobs reachable from this schedule."""
+        return set()
+
+    def knob_defaults(self) -> Dict[str, object]:
+        return {k.name: k.default for k in self.knobs()}
+
+    def describe(self) -> str:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _fp(self):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def fingerprint(self, knobs: Optional[Dict[str, object]] = None) -> str:
+        """A stable hex digest of the schedule's structure plus the knob
+        values it would resolve under ``knobs`` — the cache key component."""
+        resolved = {}
+        for k in sorted(self.knobs(), key=lambda k: k.name):
+            try:
+                resolved[k.name] = k.resolve(knobs)
+            except KnobError:
+                resolved[k.name] = None
+        blob = json.dumps({"s": self._fp(), "knobs": resolved}, sort_keys=True, default=repr)
+        return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+    # -- composition -----------------------------------------------------------
+
+    def __rshift__(self, other: "Schedule") -> "Schedule":
+        if isinstance(other, Schedule):
+            return Seq.of(self, other)
+        return NotImplemented
+
+    def __rrshift__(self, left):
+        # `proc >> sched` also works when Procedure does not define __rshift__
+        if isinstance(left, Procedure):
+            return self.apply(left)
+        return NotImplemented
+
+    def __or__(self, other: "Schedule") -> "Schedule":
+        if isinstance(other, Schedule):
+            return TryElse(self, other)
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"<Schedule {self.describe()}>"
+
+
+class Step(Schedule):
+    """One lifted operation: a primitive from the registry or a registered
+    library function, with curried arguments (possibly containing knobs and
+    focus placeholders)."""
+
+    def __init__(self, name: str, fn: Callable, args: Sequence, kwargs: Dict, kind: str = "primitive"):
+        self.name = name
+        self.fn = fn
+        self.args = tuple(args)
+        self.kwargs = dict(kwargs)
+        self.kind = kind
+
+    def _run(self, proc: Procedure, ctx: _Ctx) -> Procedure:
+        args = _resolve_args(self.args, proc, ctx)
+        kwargs = _resolve_args(self.kwargs, proc, ctx)
+        out = self.fn(proc, *args, **kwargs)
+        if isinstance(out, tuple):  # library ops may return (proc, cursors)
+            out = out[0]
+        if not isinstance(out, Procedure):
+            raise SchedulingError(f"{self.name}: lifted operation did not return a Procedure")
+        return out
+
+    def knobs(self) -> Set[Knob]:
+        out = collect_knobs(self.args)
+        collect_knobs(self.kwargs, out)
+        return out
+
+    def describe(self) -> str:
+        parts = [repr(a) for a in self.args]
+        parts += [f"{k}={v!r}" for k, v in self.kwargs.items()]
+        return f"{self.name}({', '.join(parts)})"
+
+    def _fp(self):
+        return ["step", self.kind, self.name, _fp_encode(list(self.args)), _fp_encode(self.kwargs)]
+
+
+class Seq(Schedule):
+    """Sequential composition."""
+
+    def __init__(self, steps: Sequence[Schedule]):
+        self.steps = list(steps)
+
+    @classmethod
+    def of(cls, *scheds: Schedule) -> "Seq":
+        flat: List[Schedule] = []
+        for s in scheds:
+            if isinstance(s, Seq):
+                flat.extend(s.steps)
+            else:
+                flat.append(s)
+        return cls(flat)
+
+    def _run(self, proc: Procedure, ctx: _Ctx) -> Procedure:
+        for s in self.steps:
+            proc = s._run(proc, ctx)
+        return proc
+
+    def knobs(self) -> Set[Knob]:
+        out: Set[Knob] = set()
+        for s in self.steps:
+            out |= s.knobs()
+        return out
+
+    def describe(self) -> str:
+        return " >> ".join(s.describe() for s in self.steps)
+
+    def _fp(self):
+        return ["seq", [s._fp() for s in self.steps]]
+
+
+def _rollback_recorders(marks, note: str, err: Exception) -> None:
+    for recorder, mark in marks:
+        recorder.rollback(mark, note=note, error=str(err))
+
+
+def _checkpoints():
+    return [(r, r.checkpoint()) for r in _prim_base.active_trace_recorders()]
+
+
+class TryElse(Schedule):
+    """Apply the primary schedule; on :class:`SchedulingError` /
+    :class:`InvalidCursorError`, roll the trace back and apply the fallback
+    (or do nothing when there is none)."""
+
+    def __init__(self, primary: Schedule, fallback: Optional[Schedule] = None):
+        self.primary = primary
+        self.fallback = fallback
+
+    def _run(self, proc: Procedure, ctx: _Ctx) -> Procedure:
+        marks = _checkpoints()
+        try:
+            return self.primary._run(proc, ctx)
+        except (SchedulingError, InvalidCursorError) as err:
+            _rollback_recorders(marks, f"try_({self.primary.describe()})", err)
+            if self.fallback is None:
+                return proc
+            return self.fallback._run(proc, ctx)
+
+    def knobs(self) -> Set[Knob]:
+        out = self.primary.knobs()
+        if self.fallback is not None:
+            out = out | self.fallback.knobs()
+        return out
+
+    def describe(self) -> str:
+        if self.fallback is None:
+            return f"try_({self.primary.describe()})"
+        return f"({self.primary.describe()} | {self.fallback.describe()})"
+
+    def _fp(self):
+        return ["try", self.primary._fp(), self.fallback._fp() if self.fallback else None]
+
+
+class RepeatUntilFail(Schedule):
+    """Apply the inner schedule repeatedly until it raises a scheduling error
+    (or stops making progress); the failing iteration is rolled back."""
+
+    def __init__(self, inner: Schedule, max_iters: Optional[int] = None):
+        self.inner = inner
+        self.max_iters = max_iters
+
+    def _run(self, proc: Procedure, ctx: _Ctx) -> Procedure:
+        count = 0
+        cur_state = state_hash(proc)
+        while self.max_iters is None or count < self.max_iters:
+            marks = _checkpoints()
+            try:
+                nxt = self.inner._run(proc, ctx)
+            except (SchedulingError, InvalidCursorError) as err:
+                _rollback_recorders(marks, "repeat_until_fail iteration", err)
+                break
+            # progress is structural, not object identity: a non-failing inner
+            # schedule (simplify, a recovering try_) derives a fresh Procedure
+            # every round even when it changes nothing
+            nxt_state = state_hash(nxt)
+            if nxt is proc or nxt_state == cur_state:
+                break
+            proc, cur_state = nxt, nxt_state
+            count += 1
+        return proc
+
+    def knobs(self) -> Set[Knob]:
+        return self.inner.knobs()
+
+    def describe(self) -> str:
+        return f"repeat_until_fail({self.inner.describe()})"
+
+    def _fp(self):
+        return ["repeat", self.inner._fp(), self.max_iters]
+
+
+class At(Schedule):
+    """Re-anchor the inner schedule's focus (``HERE``) at a target resolved in
+    the current procedure: a loop name, a pattern string, a cursor, or a
+    callable ``proc -> cursor``."""
+
+    def __init__(self, target, inner: Schedule):
+        self.target = target
+        self.inner = inner
+
+    def _resolve_target(self, proc: Procedure, ctx: _Ctx):
+        t = resolve_value(self.target, ctx.knobs)
+        if callable(t) and not isinstance(t, (Cursor, here)):
+            return t(proc)
+        if isinstance(t, here):
+            return t._resolve(proc, ctx.focus)
+        if isinstance(t, Cursor):
+            cur = t if t._proc is proc else proc.forward(t)
+            if isinstance(cur, InvalidCursor):
+                raise InvalidCursorError("at(...): target cursor was invalidated")
+            return cur
+        if isinstance(t, str):
+            bare = t.replace("_", "a").isalnum() and not any(ch in t for ch in "[]():=+<>* #")
+            if bare:
+                try:
+                    return proc.find_loop(t)
+                except InvalidCursorError:
+                    pass
+            cur = proc.find(t)
+            from ..cursors.cursor import BlockCursor
+
+            return cur[0] if isinstance(cur, BlockCursor) else cur
+        raise TypeError(f"at(...): unsupported target {t!r}")
+
+    def _run(self, proc: Procedure, ctx: _Ctx) -> Procedure:
+        focus = self._resolve_target(proc, ctx)
+        return self.inner._run(proc, ctx.with_focus(focus))
+
+    def knobs(self) -> Set[Knob]:
+        out = self.inner.knobs()
+        collect_knobs(self.target, out)
+        return out
+
+    def describe(self) -> str:
+        return f"at({self.target!r}, {self.inner.describe()})"
+
+    def _fp(self):
+        return ["at", _fp_encode(self.target), self.inner._fp()]
+
+
+class Traverse(Schedule):
+    """Apply the inner schedule at every site produced by a traversal strategy
+    (from :mod:`repro.stdlib.elevate`), skipping sites where it fails —
+    the ELEVATE-style ``topdown``/``bottomup`` reified as a combinator."""
+
+    def __init__(self, traversal: str, inner: Schedule, select: Optional[Callable] = None):
+        self.traversal = traversal
+        self.inner = inner
+        self.select = select
+
+    def _sites(self, proc: Procedure):
+        from ..stdlib import elevate
+
+        gen = getattr(elevate, self.traversal)
+        sites = []
+        for top in proc.body():
+            sites.extend(gen(top))
+        return sites
+
+    def _run(self, proc: Procedure, ctx: _Ctx) -> Procedure:
+        for site in self._sites(proc):
+            cur = site if site._proc is proc else proc.forward(site)
+            if isinstance(cur, InvalidCursor):
+                continue
+            if self.select is not None and not self.select(cur):
+                continue
+            marks = _checkpoints()
+            try:
+                proc = self.inner._run(proc, ctx.with_focus(cur))
+            except (SchedulingError, InvalidCursorError) as err:
+                _rollback_recorders(marks, f"{self.traversal} site skipped", err)
+        return proc
+
+    def knobs(self) -> Set[Knob]:
+        return self.inner.knobs()
+
+    def describe(self) -> str:
+        return f"{self.traversal}({self.inner.describe()})"
+
+    def _fp(self):
+        return ["traverse", self.traversal, self.inner._fp(), _fp_encode(self.select)]
+
+
+# ---------------------------------------------------------------------------
+# Combinator constructors (the user-facing spelling)
+# ---------------------------------------------------------------------------
+
+
+def seq(*scheds: Schedule) -> Schedule:
+    """Sequential composition of schedules (also spelled ``a >> b``)."""
+    return Seq.of(*scheds)
+
+
+def try_(sched_: Schedule, fallback: Optional[Schedule] = None) -> Schedule:
+    """Apply ``sched_``; on failure roll back and apply ``fallback`` (or
+    nothing).  The failed branch's trace entries are replaced by a structured
+    ``recovered`` record."""
+    return TryElse(sched_, fallback)
+
+
+def or_else(primary: Schedule, fallback: Schedule) -> Schedule:
+    """``try_`` with a mandatory fallback (also spelled ``a | b``)."""
+    return TryElse(primary, fallback)
+
+
+def repeat_until_fail(sched_: Schedule, max_iters: Optional[int] = None) -> Schedule:
+    """Apply ``sched_`` until it raises a scheduling error."""
+    return RepeatUntilFail(sched_, max_iters)
+
+
+def at(target, sched_: Schedule) -> Schedule:
+    """Anchor ``sched_``'s ``HERE`` at ``target`` (loop name, pattern, cursor,
+    or ``proc -> cursor`` callable)."""
+    return At(target, sched_)
+
+
+def topdown(sched_: Schedule, select: Optional[Callable] = None) -> Schedule:
+    """Apply ``sched_`` at every statement in pre-order (failures skip)."""
+    return Traverse("topdown", sched_, select)
+
+
+def bottomup(sched_: Schedule, select: Optional[Callable] = None) -> Schedule:
+    """Apply ``sched_`` at every statement in post-order (failures skip)."""
+    return Traverse("bottomup", sched_, select)
+
+
+def innermost_loops(sched_: Schedule) -> Schedule:
+    """Apply ``sched_`` at every innermost loop (failures skip)."""
+    return Traverse("innermost_loops", sched_, lambda c: isinstance(c, ForCursor))
+
+
+# ---------------------------------------------------------------------------
+# Lifting: the S namespace and register_op
+# ---------------------------------------------------------------------------
+
+# library operations (user-level Ops) registered alongside the primitives
+LIBRARY_REGISTRY: Dict[str, Callable] = {}
+
+
+def register_op(fn: Callable, name: Optional[str] = None) -> Callable:
+    """Register a user-level scheduling operation (``Op = Proc × ... → Proc``)
+    so it appears on the :data:`S` namespace next to the primitives.
+
+    Returns ``fn`` unchanged, so it is usable as a decorator."""
+    opname = name or fn.__name__
+    if opname in _prim_base.PRIMITIVE_REGISTRY:
+        raise ValueError(f"register_op: {opname!r} is already a scheduling primitive")
+    LIBRARY_REGISTRY[opname] = fn
+    return fn
+
+
+def lift_op(fn: Callable, name: Optional[str] = None, *, register: bool = False) -> Callable:
+    """Lift an ``Op``-shaped function into a curried ``Schedule`` factory:
+    ``lift_op(vectorize)('i', 8, ...)`` is a :class:`Schedule` value.
+
+    With ``register=True`` the function is also :func:`register_op`'d under
+    the same name, so the ``S``-namespace spelling and the returned factory
+    cannot drift apart."""
+    opname = name or getattr(fn, "__name__", "op")
+    target = getattr(fn, "__wrapped__", None)
+    kind = "primitive" if getattr(fn, "is_scheduling_primitive", False) else "lib"
+    if register:
+        register_op(fn, opname)
+
+    def factory(*args, **kwargs) -> Step:
+        return Step(opname, fn, args, kwargs, kind=kind)
+
+    factory.__name__ = opname
+    factory.__doc__ = getattr(target or fn, "__doc__", None)
+    factory.is_schedule_factory = True
+    return factory
+
+
+#: Decorator spelling of :func:`lift_op`: ``@sched`` on an Op-shaped function
+#: returns a Schedule factory.
+sched = lift_op
+
+
+class _OpNamespace:
+    """``S`` — every scheduling primitive (auto-lifted from the registry in
+    :mod:`repro.primitives._base`) plus every :func:`register_op`'d library
+    operation, in curried ``Schedule``-returning form."""
+
+    def __getattr__(self, name: str) -> Callable:
+        fn = _prim_base.PRIMITIVE_REGISTRY.get(name) or LIBRARY_REGISTRY.get(name)
+        if fn is None:
+            import difflib
+
+            pool = list(_prim_base.PRIMITIVE_REGISTRY) + list(LIBRARY_REGISTRY)
+            close = difflib.get_close_matches(name, pool, n=3, cutoff=0.5)
+            hint = f"; did you mean {', '.join(close)}?" if close else ""
+            raise AttributeError(f"S: no scheduling primitive or registered op named {name!r}{hint}")
+        factory = lift_op(fn, name)
+        setattr(self, name, factory)  # memoise
+        return factory
+
+    def __dir__(self):
+        return sorted(set(list(_prim_base.PRIMITIVE_REGISTRY) + list(LIBRARY_REGISTRY)))
+
+    def __repr__(self):
+        return f"<S: {len(_prim_base.PRIMITIVE_REGISTRY)} primitives, {len(LIBRARY_REGISTRY)} library ops>"
+
+
+S = _OpNamespace()

@@ -6,6 +6,7 @@ from .kernels import (
     SGEMM,
     all_level1_names,
     all_level2_names,
+    kernel,
     level1_kernel,
     level2_kernel,
 )
@@ -13,13 +14,26 @@ from .level1 import optimize_level_1
 from .level2 import opt_skinny, optimize_level_2_general
 from .level3 import gen_ukernel, schedule_sgemm, sgemm_micro_kernel
 from .reference import kernel_flops_bytes, level1_reference, level2_reference
+from .schedules import (
+    level1_schedule,
+    level2_schedule,
+    scheduled_level1,
+    scheduled_level2,
+    skinny_schedule,
+)
 
 __all__ = [
+    "level1_schedule",
+    "level2_schedule",
+    "skinny_schedule",
+    "scheduled_level1",
+    "scheduled_level2",
     "LEVEL1_KERNELS",
     "LEVEL2_KERNELS",
     "SGEMM",
     "all_level1_names",
     "all_level2_names",
+    "kernel",
     "level1_kernel",
     "level2_kernel",
     "optimize_level_1",

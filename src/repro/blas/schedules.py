@@ -1,0 +1,87 @@
+"""BLAS schedules as first-class :class:`Schedule` values.
+
+The level-1/level-2 optimisation pipelines (Section 6.2, Appendix D) are
+lifted into the combinator API with named knobs, so one Schedule value covers
+a whole machine/ILP sweep and batch application across the kernel family is
+memoised through the shared replay cache::
+
+    from repro.blas import level1_schedule, scheduled_level1
+    s = level1_schedule(machine=AVX2)            # knob: 'interleave'
+    fast = s.apply(LEVEL1_KERNELS['saxpy'], interleave=4)
+    fast2 = scheduled_level1('saxpy', AVX2)      # cached across calls
+"""
+
+from __future__ import annotations
+
+from ..api import knob, lift_op, schedule_cache
+from ..api.schedule import Schedule
+from .kernels import LEVEL1_KERNELS, LEVEL2_KERNELS
+from .level1 import optimize_level_1
+from .level2 import opt_skinny, optimize_level_2_general
+
+__all__ = [
+    "optimize_l1",
+    "optimize_l2",
+    "skinny",
+    "level1_schedule",
+    "level2_schedule",
+    "skinny_schedule",
+    "scheduled_level1",
+    "scheduled_level2",
+]
+
+# the raw pipelines, lifted into curried Schedule factories (and registered
+# on the S namespace under the same names)
+optimize_l1 = lift_op(optimize_level_1, "optimize_level_1", register=True)
+optimize_l2 = lift_op(optimize_level_2_general, "optimize_level_2_general", register=True)
+skinny = lift_op(opt_skinny, "opt_skinny", register=True)
+
+
+def level1_schedule(loop: str = "i", precision: str = "f32", machine=None) -> Schedule:
+    """The shared level-1 schedule as a value; knob ``interleave`` (default 2)
+    controls the ILP interleaving factor."""
+    machine = machine or _default_machine()
+    return optimize_l1(loop, precision, machine, knob("interleave", 2))
+
+
+def level2_schedule(o_loop: str = "i", precision: str = "f32", machine=None) -> Schedule:
+    """The shared level-2 schedule as a value; knobs ``rows`` / ``cols``
+    (both default 2) control the unroll-and-jam and inner interleave
+    factors."""
+    machine = machine or _default_machine()
+    return optimize_l2(o_loop, precision, machine, knob("rows", 2), knob("cols", 2))
+
+
+def skinny_schedule(out_loop: str, vw: int, precision: str = "f32", machine=None) -> Schedule:
+    """The Figure 7b skinny-matrix schedule as a value; knob ``interleave``
+    (default 2)."""
+    machine = machine or _default_machine()
+    return skinny(out_loop, vw, machine.mem_type, precision, machine, knob("interleave", 2))
+
+
+def _default_machine():
+    from ..machines import AVX2
+
+    return AVX2
+
+
+def _precision_of(name: str) -> str:
+    return "f64" if name.startswith("d") else "f32"
+
+
+def scheduled_level1(name: str, machine=None, *, cache=schedule_cache, **knobs):
+    """Schedule one level-1 kernel by name, memoised in the replay cache —
+    batch generation of the whole kernel family pays for each distinct
+    (kernel, machine, knobs) combination once per process."""
+    machine = machine or _default_machine()
+    return level1_schedule("i", _precision_of(name), machine).apply(
+        LEVEL1_KERNELS[name], knobs, cache=cache
+    )
+
+
+def scheduled_level2(name: str, machine=None, *, cache=schedule_cache, **knobs):
+    """Schedule one level-2 kernel by name, memoised in the replay cache."""
+    machine = machine or _default_machine()
+    return level2_schedule("i", _precision_of(name), machine).apply(
+        LEVEL2_KERNELS[name], knobs, cache=cache
+    )

@@ -37,6 +37,13 @@ __all__ = ["Procedure"]
 class Procedure:
     """One version of an object program, with provenance for forwarding."""
 
+    #: Observers called as ``obs(proc, cursor)`` whenever forwarding a cursor
+    #: into this procedure's frame produces an :class:`InvalidCursor`.  The
+    #: schedule-trace recorder (:mod:`repro.api.trace`) subscribes here so an
+    #: invalidation surfaces as a structured warning instead of being
+    #: silently dropped by validity-checking library code.
+    _invalidation_observers: List[Callable] = []
+
     def __init__(
         self,
         root: N.ProcDef,
@@ -144,7 +151,11 @@ class Procedure:
             if desc is None:
                 break
             desc = fwd(desc)
-        return self._cursor_from_descriptor(desc)
+        result = self._cursor_from_descriptor(desc)
+        if isinstance(result, InvalidCursor) and Procedure._invalidation_observers:
+            for obs in list(Procedure._invalidation_observers):
+                obs(self, cursor)
+        return result
 
     def _cursor_from_descriptor(self, desc):
         if desc is None:
@@ -188,6 +199,33 @@ class Procedure:
     def atomic_edit_count(self) -> int:
         """Number of atomic edits between this version and its parent."""
         return 0 if self._edit_trace is None else len(self._edit_trace)
+
+    # -- the fluent entry points of the combinator API -----------------------------
+
+    @staticmethod
+    def _as_schedule(obj):
+        from ..api.schedule import Schedule
+
+        return obj if isinstance(obj, Schedule) else None
+
+    def apply(self, schedule, knobs: Optional[dict] = None, *, cache=None, **knob_kwargs):
+        """Apply a first-class :class:`~repro.api.schedule.Schedule` to this
+        procedure: ``p.apply(sched, tile_y=16)``.  Keyword arguments (or the
+        ``knobs`` dict) bind the schedule's named knobs; ``cache`` is an
+        optional :class:`~repro.api.cache.ReplayCache`."""
+        sched = self._as_schedule(schedule)
+        if sched is None:
+            raise TypeError(
+                f"Procedure.apply: expected a Schedule, got {type(schedule).__name__}"
+            )
+        return sched.apply(self, knobs, cache=cache, **knob_kwargs)
+
+    def __rshift__(self, schedule):
+        """``p >> sched`` — apply a schedule with default knob values."""
+        sched = self._as_schedule(schedule)
+        if sched is None:
+            return NotImplemented
+        return sched.apply(self)
 
     # -- convenience methods mirroring the Exo API used in the paper ---------------
 

@@ -761,10 +761,40 @@ def _find(proc, base_path: Path, pattern: str, many: bool):
     return cursors[0]
 
 
+def _loop_names_below(proc, base_path: Path) -> List[str]:
+    """Iteration-variable names of every loop at or below ``base_path``."""
+    from ..ir.build import walk
+
+    root = get_node(proc._root, tuple(base_path))
+    names = []
+    seen = set()
+    for node, _ in walk(root):
+        if isinstance(node, N.For) and node.iter.name not in seen:
+            seen.add(node.iter.name)
+            names.append(node.iter.name)
+    return names
+
+
 def _find_loop(proc, base_path: Path, name: str, many: bool):
     name, _, occ = name.partition("#")
     name = name.strip()
     pattern = f"for {name} in _: _"
     if occ.strip():
         pattern += f" #{occ.strip()}"
-    return _find(proc, base_path, pattern, many)
+    try:
+        return _find(proc, base_path, pattern, many)
+    except InvalidCursorError as err:
+        # near-miss help: suggest existing loop names close to the request
+        import difflib
+
+        try:
+            names = _loop_names_below(proc, base_path)
+        except Exception:  # pragma: no cover - defensive
+            raise err from None
+        if name in names:
+            raise  # the name exists; the failure is an occurrence selector
+        close = difflib.get_close_matches(name, names, n=3, cutoff=0.4) or sorted(names)[:4]
+        if close:
+            suggestion = ", ".join(repr(n) for n in close)
+            raise InvalidCursorError(f"no loop {name!r}; did you mean {suggestion}?") from None
+        raise InvalidCursorError(f"no loop {name!r}; the scope contains no loops") from None

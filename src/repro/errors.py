@@ -20,11 +20,22 @@ __all__ = [
     "InvalidCursorError",
     "ParseError",
     "BackendError",
+    "cursor_location",
 ]
 
 
 class ExoError(Exception):
-    """Base class for all user-facing errors of the scheduling language."""
+    """Base class for all user-facing errors of the scheduling language.
+
+    When an error escapes a scheduling primitive, the ``@scheduling_primitive``
+    wrapper tags it with the *innermost* failing primitive's name — both in the
+    message (``"divide_loop: ..."``) and on the :attr:`primitive` attribute, so
+    combinators and tooling can report failures structurally.
+    """
+
+    #: Name of the scheduling primitive the error escaped from (set by the
+    #: primitive wrapper; ``None`` for errors raised outside any primitive).
+    primitive = None
 
 
 class SchedulingError(ExoError):
@@ -33,6 +44,16 @@ class SchedulingError(ExoError):
 
 class InvalidCursorError(ExoError):
     """A cursor navigation or forwarding produced an invalid location."""
+
+
+def cursor_location(cursor) -> str:
+    """A one-line source snippet of a cursor's target, for error messages
+    (best-effort: stale or exotic cursors degrade to their repr)."""
+    try:
+        lines = str(cursor).splitlines()
+        return lines[0].strip() if lines else repr(cursor)
+    except Exception:
+        return object.__repr__(cursor)
 
 
 class ParseError(ExoError):

@@ -2,12 +2,14 @@
 
 from .schedule import (
     make_matmul_kernel,
+    matmul_schedule,
     schedule_matmul_gemmini,
     schedule_matmul_gemmini_exo_style,
 )
 
 __all__ = [
     "make_matmul_kernel",
+    "matmul_schedule",
     "schedule_matmul_gemmini",
     "schedule_matmul_gemmini_exo_style",
 ]

@@ -31,7 +31,12 @@ from ..primitives import (
 from ..stdlib.elevate import hoist_stmt
 from ..stdlib.tiling import auto_stage_mem, cleanup, tile2D
 
-__all__ = ["make_matmul_kernel", "schedule_matmul_gemmini", "schedule_matmul_gemmini_exo_style"]
+__all__ = [
+    "make_matmul_kernel",
+    "matmul_schedule",
+    "schedule_matmul_gemmini",
+    "schedule_matmul_gemmini_exo_style",
+]
 
 
 def make_matmul_kernel(K: int = 512):
@@ -52,11 +57,9 @@ def matmul_on_gemmini(N: size, M: size, scale: f32, A: i8[N, {K}] @ DRAM, B: i8[
     return proc_from_source(src, {"relu": None, "acc_scale": None})
 
 
-def schedule_matmul_gemmini(p=None, tile: int = 16):
-    """Schedule matmul for Gemmini using the user-level Gemmini library
-    (Exo 2 style: a handful of library calls)."""
-    if p is None:
-        p = make_matmul_kernel()
+def _matmul_gemmini_impl(p, tile: int = 16):
+    """The Gemmini matmul pipeline (Exo 2 style: a handful of library calls);
+    lifted into the Schedule value returned by :func:`matmul_schedule`."""
     p = rename(p, "matmul_on_gemmini_exo2")
 
     # bind the output scale into Gemmini's store configuration and let the
@@ -121,6 +124,25 @@ def schedule_matmul_gemmini(p=None, tile: int = 16):
     p = replace_all(p, instrs)
 
     return cleanup(p)
+
+
+from ..api import knob, lift_op  # noqa: E402
+from ..api.schedule import Schedule  # noqa: E402
+
+_matmul_op = lift_op(_matmul_gemmini_impl, "gemmini_matmul", register=True)
+
+
+def matmul_schedule() -> Schedule:
+    """The full Gemmini matmul schedule as a first-class value; knob ``tile``
+    (default 16) sets the systolic-array tile size."""
+    return _matmul_op(knob("tile", 16))
+
+
+def schedule_matmul_gemmini(p=None, tile: int = 16):
+    """Legacy entry point: build and apply :func:`matmul_schedule`."""
+    if p is None:
+        p = make_matmul_kernel()
+    return matmul_schedule().apply(p, tile=tile)
 
 
 def schedule_matmul_gemmini_exo_style(p=None, tile: int = 16):

@@ -1,5 +1,6 @@
-"""Halide reproduction: blur/unsharp kernels, the H_* scheduling library
-(nominal references on top of cursors), and their schedules (Section 6.3.2)."""
+"""Halide reproduction: blur/unsharp kernels, the Halide scheduling library
+(nominal references on top of cursors, expressed as first-class Schedule
+values), and their schedules (Section 6.3.2)."""
 
 from .kernels import make_blur, make_unsharp
 from .library import (
@@ -9,13 +10,29 @@ from .library import (
     H_store_in,
     H_tile,
     H_vectorize,
+    compute_at,
+    compute_store_at,
+    parallel,
     producer_loop_nest,
+    store_in,
+    tile,
+    vectorize_stage,
 )
-from .schedules import schedule_blur, schedule_unsharp
+from .schedules import blur_schedule, schedule_blur, schedule_unsharp, unsharp_schedule
 
 __all__ = [
     "make_blur",
     "make_unsharp",
+    # Schedule-valued library
+    "tile",
+    "parallel",
+    "vectorize_stage",
+    "store_in",
+    "compute_at",
+    "compute_store_at",
+    "blur_schedule",
+    "unsharp_schedule",
+    # deprecated shims + helpers
     "H_tile",
     "H_parallel",
     "H_vectorize",

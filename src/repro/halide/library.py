@@ -2,10 +2,15 @@
 
 Halide uses *nominal* references — each computation stage is identified by the
 buffer it writes (``blur_x``, ``blur_y``) and loops by their iterator names.
-The ``H_``-prefixed functions accept those nominal references and internally
-translate them into Exo 2 cursors, then drive ordinary primitives and the
-user-level bounds inference of Section 4, demonstrating that cursors subsume
-Halide's fixed-time nominal referencing scheme.
+The library is expressed in the first-class combinator API of
+:mod:`repro.api`: ``tile(...)``, ``parallel(...)``, ``vectorize_stage(...)``,
+``store_in(...)`` and ``compute_store_at(...)`` return
+:class:`~repro.api.schedule.Schedule` values that accept nominal references
+and internally translate them into Exo 2 cursors, then drive ordinary
+primitives and the user-level bounds inference of Section 4 — demonstrating
+that cursors subsume Halide's fixed-time nominal referencing scheme.  The
+legacy ``H_``-prefixed entry points remain as thin deprecation shims that
+build the corresponding ``Schedule`` and apply it immediately.
 
 ``H_compute_store_at`` is implemented with the Figure 10 recipe: infer the
 producer window needed per consumer tile, stage the producer into a tile-local
@@ -32,6 +37,14 @@ from ..stdlib.vectorize import fma_rule, vectorize
 
 __all__ = [
     "producer_loop_nest",
+    # Schedule-valued library (the primary surface)
+    "tile",
+    "parallel",
+    "vectorize_stage",
+    "store_in",
+    "compute_store_at",
+    "compute_at",
+    # deprecated call-style shims
     "H_tile",
     "H_parallel",
     "H_vectorize",
@@ -75,7 +88,7 @@ def _loop_of(p, stage: str, iter_name: str) -> ForCursor:
     return nest_root.find_loop(iter_name)
 
 
-def H_tile(p, stage: str, y: str, x: str, yi: str, xi: str, y_sz: int, x_sz: int):
+def _tile_impl(p, stage: str, y: str, x: str, yi: str, xi: str, y_sz: int, x_sz: int):
     """``stage.tile(x, y, xi, yi, x_sz, y_sz)``."""
     y_loop = _loop_of(p, stage, y)
     x_loop = _loop_of(p, stage, x)
@@ -85,12 +98,12 @@ def H_tile(p, stage: str, y: str, x: str, yi: str, xi: str, y_sz: int, x_sz: int
     return p
 
 
-def H_parallel(p, iter_name: str):
+def _parallel_impl(p, iter_name: str):
     """``Func.parallel(y)`` — annotate the loop as parallel."""
     return parallelize_loop(p, p.find_loop(iter_name))
 
 
-def H_vectorize(p, stage: str, iter_name: str, width: int, machine=None, precision: str = "f32"):
+def _vectorize_stage_impl(p, stage: str, iter_name: str, width: int, machine=None, precision: str = "f32"):
     """``stage.vectorize(xi, width)`` using the user-level vectorizer."""
     from ..machines import AVX512
 
@@ -111,7 +124,7 @@ def H_vectorize(p, stage: str, iter_name: str, width: int, machine=None, precisi
         return p
 
 
-def H_store_in(p, buf_name: str, memory):
+def _store_in_impl(p, buf_name: str, memory):
     """``Func.store_in(...)`` — change the storage of an intermediate buffer."""
     try:
         return set_memory(p, buf_name, memory)
@@ -119,7 +132,7 @@ def H_store_in(p, buf_name: str, memory):
         return p
 
 
-def H_compute_store_at(p, producer: str, consumer: str, at_iter: str):
+def _compute_store_at_impl(p, producer: str, consumer: str, at_iter: str):
     """``producer.compute_at(consumer, at_iter)`` (with storage at the same
     level): recompute the producer tile inside the consumer's ``at_iter`` loop.
 
@@ -177,7 +190,60 @@ def H_compute_store_at(p, producer: str, consumer: str, at_iter: str):
     return simplify(p)
 
 
-def H_compute_at(p, producer: str, consumer: str, at_iter: str):
-    """Alias of :func:`H_compute_store_at` (Halide stores at the compute level
-    when no explicit ``store_at`` is given)."""
-    return H_compute_store_at(p, producer, consumer, at_iter)
+def _compute_at_impl(p, producer: str, consumer: str, at_iter: str):
+    """Alias of ``compute_store_at`` (Halide stores at the compute level when
+    no explicit ``store_at`` is given)."""
+    return _compute_store_at_impl(p, producer, consumer, at_iter)
+
+
+# ---------------------------------------------------------------------------
+# The first-class library surface: each operation is a Schedule factory
+# (curried — ``tile("out", "y", "x", "yi", "xi", 32, 256)`` is a value that
+# composes with ``>>``, ``try_`` and knobs), lifted from the implementations
+# above.  They also register on ``repro.api.S`` under their bare names.
+# ---------------------------------------------------------------------------
+
+from ..api import lift_op as _lift_op
+
+tile = _lift_op(_tile_impl, "H_tile", register=True)
+parallel = _lift_op(_parallel_impl, "H_parallel", register=True)
+vectorize_stage = _lift_op(_vectorize_stage_impl, "H_vectorize", register=True)
+store_in = _lift_op(_store_in_impl, "H_store_in", register=True)
+compute_store_at = _lift_op(_compute_store_at_impl, "H_compute_store_at", register=True)
+compute_at = _lift_op(_compute_at_impl, "H_compute_at", register=True)
+
+
+# ---------------------------------------------------------------------------
+# Deprecated shims: the old procedure-threading call style, routed through
+# the Schedule engine so legacy callers get traces/caching for free.
+# ---------------------------------------------------------------------------
+
+
+def H_tile(p, *args, **kwargs):
+    """Deprecated shim — use the ``tile(...)`` Schedule value."""
+    return p >> tile(*args, **kwargs)
+
+
+def H_parallel(p, *args, **kwargs):
+    """Deprecated shim — use the ``parallel(...)`` Schedule value."""
+    return p >> parallel(*args, **kwargs)
+
+
+def H_vectorize(p, *args, **kwargs):
+    """Deprecated shim — use the ``vectorize_stage(...)`` Schedule value."""
+    return p >> vectorize_stage(*args, **kwargs)
+
+
+def H_store_in(p, *args, **kwargs):
+    """Deprecated shim — use the ``store_in(...)`` Schedule value."""
+    return p >> store_in(*args, **kwargs)
+
+
+def H_compute_store_at(p, *args, **kwargs):
+    """Deprecated shim — use the ``compute_store_at(...)`` Schedule value."""
+    return p >> compute_store_at(*args, **kwargs)
+
+
+def H_compute_at(p, *args, **kwargs):
+    """Deprecated shim — use the ``compute_at(...)`` Schedule value."""
+    return p >> compute_at(*args, **kwargs)

@@ -1,59 +1,84 @@
-"""Blur and unsharp schedules written with the Halide-style library
-(Figure 12), plus unscheduled baselines for comparison."""
+"""Blur and unsharp schedules as first-class :class:`Schedule` values
+(Figure 12), plus the legacy call-style entry points.
+
+``blur_schedule()`` / ``unsharp_schedule()`` build the whole pipeline out of
+the Schedule-valued Halide library with named knobs (``tile_y``, ``tile_x``,
+``vec``), so one value covers the entire tile-size/vector-width sweep::
+
+    s = blur_schedule()
+    p = make_blur() >> s                            # defaults (32, 256, 16)
+    variants = [s.apply(make_blur(), tile_y=t) for t in (16, 32, 64)]
+
+``schedule_blur`` / ``schedule_unsharp`` keep their original signatures as
+thin shims that apply the Schedule with the given knob values.
+"""
 
 from __future__ import annotations
 
-from ..errors import InvalidCursorError, SchedulingError
+from ..api import S, knob, try_
+from ..api.schedule import Schedule, Seq
 from ..ir.memories import DRAM_STACK
-from ..stdlib.tiling import cleanup
 from .kernels import make_blur, make_unsharp
 from .library import (
-    H_compute_store_at,
-    H_parallel,
-    H_store_in,
-    H_tile,
-    H_vectorize,
+    compute_store_at,
+    parallel,
+    store_in,
+    tile,
+    vectorize_stage,
 )
 
-__all__ = ["schedule_blur", "schedule_unsharp"]
+__all__ = ["blur_schedule", "unsharp_schedule", "schedule_blur", "schedule_unsharp"]
+
+
+def blur_schedule(machine=None, *, fuse_stages: bool = False) -> Schedule:
+    """The Exo 2 blur schedule of Figure 12 as a composable value.
+
+    Knobs: ``tile_y`` (default 32), ``tile_x`` (256), ``vec`` (16).
+    ``fuse_stages`` adds the experimental ``compute_at`` fusion of Figure 10
+    under a ``try_`` combinator; the default keeps the stages breadth-first
+    (tiled, parallelised, vectorised), which is what the reproduced
+    performance comparison measures (see EXPERIMENTS.md)."""
+    tile_y, tile_x, vec = knob("tile_y", 32), knob("tile_x", 256), knob("vec", 16)
+    steps = [tile("out", "y", "x", "yi", "xi", tile_y, tile_x)]
+    if fuse_stages:
+        steps.append(try_(compute_store_at("blur_x", "out", "x")))
+    steps += [
+        parallel("y"),
+        vectorize_stage("blur_x", "xi", vec, machine),
+        vectorize_stage("out", "xi", vec, machine),
+        store_in("blur_x", DRAM_STACK),
+        S.cleanup(),
+    ]
+    return Seq.of(*steps)
+
+
+def unsharp_schedule(machine=None, *, fuse_stages: bool = False) -> Schedule:
+    """Unsharp masking as a Schedule value: tile the output, optionally fuse
+    the blur stages into the tile, vectorise the inner loops.  Knobs as in
+    :func:`blur_schedule`."""
+    tile_y, tile_x, vec = knob("tile_y", 32), knob("tile_x", 256), knob("vec", 16)
+    steps = [tile("out", "y", "x", "yi", "xi", tile_y, tile_x)]
+    if fuse_stages:
+        for producer in ("blur_y", "blur_x"):
+            steps.append(try_(compute_store_at(producer, "out", "x")))
+    steps.append(parallel("y"))
+    for stage in ("blur_x", "blur_y", "out"):
+        steps.append(vectorize_stage(stage, "xi", vec, machine))
+    steps += [
+        store_in("blur_x", DRAM_STACK),
+        store_in("blur_y", DRAM_STACK),
+        S.cleanup(),
+    ]
+    return Seq.of(*steps)
 
 
 def schedule_blur(machine=None, tile_y: int = 32, tile_x: int = 256, vec: int = 16, fuse_stages: bool = False):
-    """The Exo 2 blur schedule of Figure 12, written with Halide-style
-    nominal references.
-
-    ``fuse_stages`` enables the experimental ``compute_at`` fusion of
-    Figure 10; the default schedule keeps the stages breadth-first (tiled,
-    parallelised and vectorised), which is what the reproduced performance
-    comparison measures (see EXPERIMENTS.md)."""
-    p = make_blur()
-    p = H_tile(p, "out", "y", "x", "yi", "xi", tile_y, tile_x)
-    if fuse_stages:
-        try:
-            p = H_compute_store_at(p, "blur_x", "out", "x")
-        except (SchedulingError, InvalidCursorError):
-            pass
-    p = H_parallel(p, "y")
-    p = H_vectorize(p, "blur_x", "xi", vec, machine)
-    p = H_vectorize(p, "out", "xi", vec, machine)
-    p = H_store_in(p, "blur_x", DRAM_STACK)
-    return cleanup(p)
+    """Legacy entry point: build and apply :func:`blur_schedule`."""
+    sched = blur_schedule(machine, fuse_stages=fuse_stages)
+    return sched.apply(make_blur(), tile_y=tile_y, tile_x=tile_x, vec=vec)
 
 
 def schedule_unsharp(machine=None, tile_y: int = 32, tile_x: int = 256, vec: int = 16, fuse_stages: bool = False):
-    """Unsharp masking scheduled with the same library: tile the output, fuse
-    the blur stages into the tile, and vectorise the inner loops."""
-    p = make_unsharp()
-    p = H_tile(p, "out", "y", "x", "yi", "xi", tile_y, tile_x)
-    if fuse_stages:
-        for producer in ("blur_y", "blur_x"):
-            try:
-                p = H_compute_store_at(p, producer, "out", "x")
-            except (SchedulingError, InvalidCursorError):
-                pass
-    p = H_parallel(p, "y")
-    for stage in ("blur_x", "blur_y", "out"):
-        p = H_vectorize(p, stage, "xi", vec, machine)
-    p = H_store_in(p, "blur_x", DRAM_STACK)
-    p = H_store_in(p, "blur_y", DRAM_STACK)
-    return cleanup(p)
+    """Legacy entry point: build and apply :func:`unsharp_schedule`."""
+    sched = unsharp_schedule(machine, fuse_stages=fuse_stages)
+    return sched.apply(make_unsharp(), tile_y=tile_y, tile_x=tile_x, vec=vec)

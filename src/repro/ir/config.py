@@ -16,7 +16,12 @@ from typing import Dict, List, Tuple
 
 from .types import ScalarType
 
-__all__ = ["Config", "new_config"]
+__all__ = ["Config", "new_config", "config_by_name", "register_config"]
+
+
+# Registry of every Config created in this process, keyed by name; used by
+# the schedule-trace machinery (repro.api) to reference configs symbolically.
+_CONFIG_REGISTRY: Dict[str, "Config"] = {}
 
 
 class Config:
@@ -25,6 +30,7 @@ class Config:
     def __init__(self, name: str, fields: List[Tuple[str, ScalarType]]):
         self._name = name
         self._fields: Dict[str, ScalarType] = dict(fields)
+        register_config(self)
 
     def name(self) -> str:
         return self._name
@@ -48,3 +54,18 @@ class Config:
 def new_config(name: str, fields: List[Tuple[str, ScalarType]]) -> Config:
     """Create a new configuration record (user-facing helper)."""
     return Config(name, fields)
+
+
+def register_config(cfg: Config) -> Config:
+    """Register ``cfg`` for by-name lookup (done automatically on creation;
+    last registration wins when names collide)."""
+    _CONFIG_REGISTRY[cfg.name()] = cfg
+    return cfg
+
+
+def config_by_name(name: str) -> Config:
+    """Look up a configuration record created earlier in this process."""
+    try:
+        return _CONFIG_REGISTRY[name]
+    except KeyError:
+        raise KeyError(f"no Config named {name!r} has been created") from None

@@ -64,6 +64,28 @@ edits, kept in sync by hand at every call site::
 Multi-step primitives simply record several edits in one session (see
 ``delete_pass`` or ``H_compute_store_at``); coordinates given as cursors are
 forwarded through the session's earlier edits automatically.
+
+Lifting into ``repro.api``
+==========================
+
+Nothing further is required to make a primitive available to the combinator
+API: the ``@scheduling_primitive`` decorator records the wrapper in
+:data:`PRIMITIVE_REGISTRY`, and :data:`repro.api.S` auto-lifts every entry
+into curried, ``Schedule``-returning form — ``S.cut_loop('i', 4)`` is a
+first-class value composable with ``seq``/``try_``/``at`` and parameterisable
+with ``knob(...)`` placeholders.  Two consequences for primitive authors:
+
+* keep reference arguments acceptable as *pattern strings* as well as
+  cursors (the ``to_*_cursor`` coercers do this for you) — serialized traces
+  re-parse string forms on replay, and IR-node arguments round-trip through
+  their surface syntax;
+* raise :class:`SchedulingError` (not bare exceptions) for recoverable
+  failures — the ``try_``/``or_else`` combinators and trace rollback treat it
+  as the unit of recovery, exactly like hand-written ``try/except`` schedules.
+
+Library functions built *from* primitives join the same namespace with
+:func:`repro.api.register_op` (see ``stdlib/tiling.py``), so grown vocabulary
+is indistinguishable from built-in vocabulary — the paper's Section 6 story.
 """
 
 from __future__ import annotations
@@ -84,13 +106,22 @@ from ..cursors.cursor import (
     StmtCursor,
     make_stmt_cursor,
 )
-from ..errors import InvalidCursorError, SchedulingError
+from ..errors import InvalidCursorError, SchedulingError, cursor_location
 from ..ir import nodes as N
 from ..ir.syms import Sym
-from .counter import pop_current_primitive, push_current_primitive, record_rewrite
+from .counter import (
+    pop_current_primitive,
+    primitive_depth,
+    push_current_primitive,
+    record_rewrite,
+)
 
 __all__ = [
     "scheduling_primitive",
+    "PRIMITIVE_REGISTRY",
+    "push_trace_recorder",
+    "pop_trace_recorder",
+    "active_trace_recorders",
     "require",
     "to_stmt_cursor",
     "to_loop_cursor",
@@ -101,9 +132,47 @@ __all__ = [
     "to_expr_cursor",
     "proc_fact_env",
     "fresh_sym",
+    "scope_syms",
     "block_coords",
     "stmt_coords",
 ]
+
+
+#: Every scheduling primitive, keyed by name — populated by the decorator
+#: below and auto-lifted into curried Schedule form by :data:`repro.api.S`.
+PRIMITIVE_REGISTRY: dict = {}
+
+# Active schedule-trace recorders (see repro.api.trace.TraceRecorder).  Only
+# *outermost* primitive invocations are reported — a primitive built on other
+# primitives records as one trace entry, and replaying it re-performs the
+# nested work.
+_TRACE_RECORDERS: List[object] = []
+
+
+def push_trace_recorder(recorder) -> None:
+    _TRACE_RECORDERS.append(recorder)
+
+
+def pop_trace_recorder(recorder) -> None:
+    try:
+        _TRACE_RECORDERS.remove(recorder)
+    except ValueError:
+        pass
+
+
+def active_trace_recorders() -> List[object]:
+    return list(_TRACE_RECORDERS)
+
+
+def _annotate_error(err: Exception, primitive: str) -> None:
+    """Tag a scheduling/cursor error with the primitive it escaped from, and
+    make sure the message names it (innermost primitive wins)."""
+    if getattr(err, "primitive", None) is not None:
+        return
+    err.primitive = primitive
+    msg = str(err)
+    if not msg.startswith(f"{primitive}:") and not msg.startswith(f"{primitive} "):
+        err.args = (f"{primitive}: {msg}",)
 
 
 def scheduling_primitive(fn: Callable) -> Callable:
@@ -116,14 +185,30 @@ def scheduling_primitive(fn: Callable) -> Callable:
                 f"{fn.__name__}: first argument must be a Procedure, got {type(proc).__name__}"
             )
         record_rewrite(fn.__name__)
+        recorders = _TRACE_RECORDERS if (_TRACE_RECORDERS and primitive_depth() == 0) else ()
+        entries = [(r, r.begin(fn.__name__, proc, args, kwargs)) for r in recorders]
         push_current_primitive(fn.__name__)
         try:
-            return fn(proc, *args, **kwargs)
+            result = fn(proc, *args, **kwargs)
+        except (SchedulingError, InvalidCursorError) as err:
+            _annotate_error(err, fn.__name__)
+            for r, entry in entries:
+                r.fail(entry, err)
+            raise
+        except BaseException as err:  # internal errors: close recorder state
+            for r, entry in entries:
+                r.fail(entry, err)
+            raise
+        else:
+            for r, entry in entries:
+                r.commit(entry, result)
+            return result
         finally:
             pop_current_primitive()
 
     wrapper.__wrapped__ = fn
     wrapper.is_scheduling_primitive = True
+    PRIMITIVE_REGISTRY[fn.__name__] = wrapper
     return wrapper
 
 
@@ -139,7 +224,10 @@ def _forwarded(proc: Procedure, cursor: Cursor) -> Cursor:
         return cursor
     fwd = proc.forward(cursor)
     if isinstance(fwd, InvalidCursor):
-        raise InvalidCursorError("cursor was invalidated by an earlier transformation")
+        raise InvalidCursorError(
+            "cursor was invalidated by an earlier transformation"
+            f" (target was: {cursor_location(cursor)})"
+        )
     return fwd
 
 
@@ -166,10 +254,16 @@ def to_stmt_cursor(proc: Procedure, ref, kinds=None) -> StmtCursor:
     else:
         raise TypeError(f"expected a cursor or pattern string, got {type(ref).__name__}")
     if not isinstance(cur, StmtCursor):
-        raise SchedulingError(f"expected a statement cursor, got {type(cur).__name__}")
+        raise SchedulingError(
+            f"expected a statement cursor, got {type(cur).__name__}"
+            f" (at: {cursor_location(cur)})"
+        )
     if kinds is not None and not isinstance(cur, kinds):
         names = ", ".join(k.__name__ for k in (kinds if isinstance(kinds, tuple) else (kinds,)))
-        raise SchedulingError(f"expected a cursor of kind {names}, got {type(cur).__name__}")
+        raise SchedulingError(
+            f"expected a cursor of kind {names}, got {type(cur).__name__}"
+            f" (at: {cursor_location(cur)})"
+        )
     return cur
 
 
@@ -184,10 +278,14 @@ def to_loop_cursor(proc: Procedure, ref) -> ForCursor:
                 cur = cur[0]
             if isinstance(cur, ForCursor):
                 return cur
-            raise SchedulingError(f"{ref!r} does not refer to a loop")
+            raise SchedulingError(
+                f"{ref!r} does not refer to a loop (at: {cursor_location(cur)})"
+            )
     cur = to_stmt_cursor(proc, ref)
     if not isinstance(cur, ForCursor):
-        raise SchedulingError(f"expected a loop cursor, got {type(cur).__name__}")
+        raise SchedulingError(
+            f"expected a loop cursor, got {type(cur).__name__} (at: {cursor_location(cur)})"
+        )
     return cur
 
 
@@ -196,7 +294,10 @@ def to_if_cursor(proc: Procedure, ref):
 
     cur = to_stmt_cursor(proc, ref)
     if not isinstance(cur, IfCursor):
-        raise SchedulingError(f"expected an if-statement cursor, got {type(cur).__name__}")
+        raise SchedulingError(
+            f"expected an if-statement cursor, got {type(cur).__name__}"
+            f" (at: {cursor_location(cur)})"
+        )
     return cur
 
 
@@ -242,7 +343,10 @@ def to_alloc_cursor(proc: Procedure, ref) -> Union[AllocCursor, ArgCursor]:
     else:
         raise TypeError(f"expected a cursor or buffer name, got {type(ref).__name__}")
     if not isinstance(cur, (AllocCursor, ArgCursor)):
-        raise SchedulingError(f"expected an allocation or argument, got {type(cur).__name__}")
+        raise SchedulingError(
+            f"expected an allocation or argument, got {type(cur).__name__}"
+            f" (at: {cursor_location(cur)})"
+        )
     return cur
 
 
@@ -254,7 +358,10 @@ def to_expr_cursor(proc: Procedure, ref) -> ExprCursor:
     else:
         raise TypeError(f"expected a cursor or pattern string, got {type(ref).__name__}")
     if not isinstance(cur, ExprCursor):
-        raise SchedulingError(f"expected an expression cursor, got {type(cur).__name__}")
+        raise SchedulingError(
+            f"expected an expression cursor, got {type(cur).__name__}"
+            f" (at: {cursor_location(cur)})"
+        )
     return cur
 
 
@@ -290,6 +397,25 @@ def proc_fact_env(proc: Procedure, at_path=()):
 
 def fresh_sym(name: str) -> Sym:
     return Sym(name)
+
+
+def scope_syms(proc: Procedure, at_path) -> dict:
+    """Iteration-variable symbols of the loops enclosing ``at_path``, keyed by
+    name (innermost wins).
+
+    Used to resolve string-form index/window expressions *in the scope of
+    their target* rather than by a whole-procedure walk: after tiling, several
+    loops often share a name (e.g. the vector loop and its tail are both
+    ``ii``), and only scope-aware resolution picks the sym the caller means —
+    which is also what makes serialized traces replay faithfully."""
+    env = {}
+    node = proc._root
+    for attr, idx in at_path:
+        child = getattr(node, attr)
+        node = child if idx is None else child[idx]
+        if isinstance(node, N.For):
+            env[node.iter.name] = node.iter
+    return env
 
 
 def block_coords(block: BlockCursor):

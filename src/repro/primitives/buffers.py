@@ -31,6 +31,7 @@ from ._base import (
     proc_fact_env,
     require,
     scheduling_primitive,
+    scope_syms,
     stmt_coords,
     to_alloc_cursor,
     to_block_cursor,
@@ -285,11 +286,13 @@ def expand_dim(proc, alloc, size, index_expr, *, unsafe_disable_check: bool = Fa
     elif isinstance(size, str):
         from ..frontend.parser import parse_expr_fragment
 
-        size = parse_expr_fragment(size, proc._root)
+        size = parse_expr_fragment(size, proc._root, scope_syms(proc, cur._path))
     if isinstance(index_expr, str):
         from ..frontend.parser import parse_expr_fragment
 
-        index_expr = parse_expr_fragment(index_expr, proc._root)
+        # resolve in the allocation's enclosing scope: duplicate loop names
+        # elsewhere in the procedure must not capture the index
+        index_expr = parse_expr_fragment(index_expr, proc._root, scope_syms(proc, cur._path))
     elif isinstance(index_expr, ExprCursor):
         index_expr = copy_node(index_expr._node())
     elif isinstance(index_expr, Sym):
@@ -542,13 +545,15 @@ def bind_expr(proc, exprs, new_name: str, *, cse: bool = False):
     return session.finish()
 
 
-def _parse_window(proc, window) -> N.WindowExpr:
+def _parse_window(proc, window, scope_path=()) -> N.WindowExpr:
     if isinstance(window, N.WindowExpr):
         return window
     if isinstance(window, str):
         from ..frontend.parser import parse_expr_fragment
 
-        e = parse_expr_fragment(window, proc._root)
+        # loop iterators in the window resolve in the scope of the staged
+        # block (duplicate loop names elsewhere must not capture them)
+        e = parse_expr_fragment(window, proc._root, scope_syms(proc, scope_path))
         if isinstance(e, N.Read):
             # point accesses (or a bare scalar name): a degenerate window
             e = N.WindowExpr(e.name, [N.Point(i) for i in e.idx], e.typ)
@@ -566,7 +571,7 @@ def stage_mem(proc, block, window, new_name: str, *, accum: bool = False, init_z
     written back after the block (when the block writes the buffer, or always
     when ``accum``)."""
     block = to_block_cursor(proc, block)
-    w = _parse_window(proc, window)
+    w = _parse_window(proc, window, block._owner_path)
     buf = w.name
     env = proc_fact_env(proc, block._owner_path)
 

@@ -20,6 +20,8 @@ __all__ = [
     "record_atomic_edits",
     "push_current_primitive",
     "pop_current_primitive",
+    "current_primitive",
+    "primitive_depth",
     "count_rewrites",
     "global_rewrite_count",
     "global_atomic_edit_count",
@@ -55,6 +57,16 @@ def push_current_primitive(primitive_name: str) -> None:
 def pop_current_primitive() -> None:
     if _primitive_stack:
         _primitive_stack.pop()
+
+
+def current_primitive() -> Optional[str]:
+    """The innermost primitive currently executing (or ``None``)."""
+    return _primitive_stack[-1] if _primitive_stack else None
+
+
+def primitive_depth() -> int:
+    """How many primitive invocations are currently on the stack."""
+    return len(_primitive_stack)
 
 
 def record_atomic_edits(n: int) -> None:

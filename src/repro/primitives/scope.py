@@ -8,7 +8,7 @@ from typing import List, Sequence
 from ..analysis.effects import loop_iterations_commute, stmts_commute
 from ..analysis.linear import exprs_equal
 from ..cursors.cursor import BlockCursor, ForCursor, IfCursor
-from ..errors import SchedulingError
+from ..errors import SchedulingError, cursor_location
 from ..ir import nodes as N
 from ..ir.build import (
     alpha_rename_stmts,
@@ -144,7 +144,10 @@ def lift_scope(proc, scope, *, unsafe_disable_check: bool = False):
     ``for`` or ``if`` (the scope must be the only statement in its parent)."""
     inner_c = to_stmt_cursor(proc, scope)
     inner = inner_c._node()
-    require(isinstance(inner, (N.For, N.If)), "lift_scope: expected a for or if statement")
+    require(
+        isinstance(inner, (N.For, N.If)),
+        f"lift_scope: expected a for or if statement (at: {cursor_location(inner_c)})",
+    )
     parent_c = inner_c.parent()
     parent = parent_c._node()
     require(isinstance(parent, (N.For, N.If)), "lift_scope: the parent must be a for or if statement")

@@ -6,6 +6,12 @@ code: traversals are generators over cursors (``Top = Cursor →
 Stream[Cursor]``), and the linear-time reference frame is recreated with the
 ``nav`` / ``savec`` / ``reframe`` combinators from
 :mod:`repro.stdlib.higher_order`.
+
+The traversal generators here are also the engine behind the first-class
+traversal *combinators* of :mod:`repro.api` — ``topdown(sched)`` /
+``bottomup(sched)`` / ``innermost_loops(sched)`` apply a ``Schedule`` value at
+every site one of these generators produces, which is the Schedule-valued
+form of the same ELEVATE strategies.
 """
 
 from __future__ import annotations

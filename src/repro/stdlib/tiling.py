@@ -374,3 +374,27 @@ def cleanup(p):
             except SchedulingError:
                 continue
     return p
+
+
+# ---------------------------------------------------------------------------
+# Lift the library into the combinator namespace: every Op-shaped function
+# here is available on repro.api.S in curried Schedule form
+# (``S.tile2D('i', 'j', ...)``), indistinguishable from a built-in primitive.
+# ---------------------------------------------------------------------------
+
+from ..api import register_op as _register_op  # noqa: E402
+
+for _op in (
+    tile2D,
+    tilenD,
+    general_tile2D,
+    tile_loops_bottom_up,
+    round_loop,
+    unroll_and_jam,
+    interleave_loop,
+    hoist_from_loop,
+    unroll_loops,
+    cleanup,
+):
+    _register_op(_op)
+del _op

@@ -457,3 +457,12 @@ def vectorize(
     p = simplify(p)
     p = replace_all(p, instrs)
     return p
+
+
+# Lift the vectorizer's vocabulary into the combinator namespace
+# (``S.vectorize('i', 8, ...)``; see repro.api).
+from ..api import register_op as _register_op  # noqa: E402
+
+for _op in (vectorize, parallelize_reductions, stage_compute, fission_into_singles, CSE, LICM):
+    _register_op(_op)
+del _op

@@ -1,0 +1,293 @@
+"""The first-class Schedule API: lifting, knobs, combinators, fluency."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Procedure, divide_loop, lift_scope, proc, unroll_loop
+from repro.api import (
+    HERE,
+    S,
+    at,
+    here,
+    innermost_loops,
+    knob,
+    lift_op,
+    or_else,
+    repeat_until_fail,
+    try_,
+)
+from repro.api import seq as sq
+from repro.api.knobs import KnobError
+from repro.errors import InvalidCursorError, SchedulingError
+from repro.ir.build import structurally_equal
+from repro.lang import *  # noqa: F401,F403
+
+
+def _eq(a: Procedure, b: Procedure) -> bool:
+    return structurally_equal(a._root, b._root, match_sym_names=True)
+
+
+@proc
+def _gemv(M: size, N: size, A: f32[M, N] @ DRAM, x: f32[N] @ DRAM, y: f32[M] @ DRAM):
+    assert M % 8 == 0
+    assert N % 8 == 0
+    for i in seq(0, M):
+        for j in seq(0, N):
+            y[i] += A[i, j] * x[j]
+
+
+@proc
+def _nest4(A: f32[4, 4] @ DRAM):
+    for i in seq(0, 4):
+        for j in seq(0, 4):
+            A[i, j] = 2.0 * A[i, j]
+
+
+TILE = sq(
+    S.divide_loop("i", knob("ti", 8), ["io", "ii"], perfect=True),
+    S.divide_loop("j", knob("tj", 8), ["jo", "ji"], perfect=True),
+    S.lift_scope("jo"),
+)
+
+
+# ---------------------------------------------------------------------------
+# lifting + fluency
+# ---------------------------------------------------------------------------
+
+
+def test_lifted_primitive_matches_direct_call():
+    lifted = _gemv >> S.divide_loop("i", 8, ["io", "ii"], perfect=True)
+    direct = divide_loop(_gemv, "i", 8, ["io", "ii"], perfect=True)
+    assert _eq(lifted, direct)
+
+
+def test_namespace_covers_registry_and_suggests_near_misses():
+    assert "divide_loop" in dir(S)
+    assert "tile2D" in dir(S)  # registered library op
+    with pytest.raises(AttributeError, match="divide_loop"):
+        S.divide_looop  # noqa: B018
+
+
+def test_procedure_apply_and_rshift_agree():
+    assert _eq(_gemv.apply(TILE), _gemv >> TILE)
+
+
+def test_rshift_rejects_non_schedule_operands():
+    with pytest.raises(TypeError):
+        _gemv >> _nest4  # two Procedures must not recurse through .apply
+    with pytest.raises(TypeError, match="expected a Schedule"):
+        _gemv.apply(_nest4)
+
+
+def test_seq_matches_hand_threading():
+    p = divide_loop(_gemv, "i", 8, ["io", "ii"], perfect=True)
+    p = divide_loop(p, "j", 8, ["jo", "ji"], perfect=True)
+    p = lift_scope(p, "jo")
+    assert _eq(_gemv >> TILE, p)
+
+
+def test_lift_op_wraps_library_functions():
+    from repro.stdlib.tiling import tile2D
+
+    t = lift_op(tile2D)("i", "j", ["io", "ii"], ["jo", "ji"], 8, 8)
+    assert _eq(_gemv >> t, _gemv >> TILE)
+
+
+# ---------------------------------------------------------------------------
+# knobs
+# ---------------------------------------------------------------------------
+
+
+def test_knob_defaults_and_overrides():
+    assert _eq(TILE.apply(_gemv), TILE.apply(_gemv, ti=8, tj=8))
+    small = TILE.apply(_gemv, {"ti": 4, "tj": 4})
+    assert not _eq(small, TILE.apply(_gemv))
+    # keyword spelling is equivalent to the dict spelling
+    assert _eq(small, TILE.apply(_gemv, ti=4, tj=4))
+
+
+def test_knob_sweep_produces_distinct_variants():
+    variants = [TILE.apply(_gemv, ti=t, tj=t) for t in (2, 4, 8)]
+    for i in range(len(variants)):
+        for j in range(i + 1, len(variants)):
+            assert not _eq(variants[i], variants[j])
+
+
+def test_knob_without_default_must_be_bound():
+    s = S.divide_loop("i", knob("mystery"), ["io", "ii"], perfect=True)
+    with pytest.raises(KnobError, match="mystery"):
+        s.apply(_gemv)
+    # knob-configuration mistakes must escape recovery combinators
+    with pytest.raises(KnobError, match="mystery"):
+        try_(s).apply(_gemv)
+    assert _eq(s.apply(_gemv, mystery=8), _gemv >> S.divide_loop("i", 8, ["io", "ii"], perfect=True))
+
+
+def test_knob_choices_validated():
+    s = S.divide_loop("i", knob("t", 8, choices=(4, 8)), ["io", "ii"], perfect=True)
+    with pytest.raises(KnobError, match="choices"):
+        s.apply(_gemv, t=3)
+
+
+def test_schedule_reports_its_knobs():
+    names = {k.name for k in TILE.knobs()}
+    assert names == {"ti", "tj"}
+    assert TILE.knob_defaults() == {"ti": 8, "tj": 8}
+
+
+def test_unknown_knob_names_are_rejected():
+    with pytest.raises(KnobError, match=r"unknown knob.*tI.*did you mean"):
+        TILE.apply(_gemv, tI=4)
+    with pytest.raises(KnobError, match="no knobs"):
+        S.divide_loop("i", 8, ["io", "ii"], perfect=True).apply(_gemv, tile=4)
+
+
+def test_repeat_until_fail_terminates_on_non_failing_noop_inner():
+    # simplify never raises and changes nothing here: structural-progress
+    # detection must stop the loop after one round
+    out = _gemv >> repeat_until_fail(S.simplify())
+    assert _eq(out, _gemv)
+
+
+def test_fingerprint_stable_for_rebuilt_here_navigations():
+    def build():
+        return at("i", S.divide_loop(HERE, 8, ["io", "ii"], perfect=True))
+
+    assert build().fingerprint() == build().fingerprint()
+
+    def build_nav():
+        return at("i", S.insert_pass(here(lambda c: c.body().before())))
+
+    assert build_nav().fingerprint() == build_nav().fingerprint()
+
+
+def test_fingerprint_distinguishes_structure_and_knobs():
+    assert TILE.fingerprint({"ti": 8}) == TILE.fingerprint({"ti": 8})
+    assert TILE.fingerprint({"ti": 8}) != TILE.fingerprint({"ti": 4})
+    other = sq(S.divide_loop("i", knob("ti", 8), ["io", "ii"], perfect=True))
+    assert TILE.fingerprint() != other.fingerprint()
+
+
+# ---------------------------------------------------------------------------
+# try_ / or_else recovery semantics
+# ---------------------------------------------------------------------------
+
+
+def test_try_swallows_failure_and_returns_input():
+    s = try_(S.divide_loop("i", 7, ["io", "ii"], perfect=True))
+    out, trace = s.apply_traced(_gemv)
+    assert out is _gemv
+    kinds = [e.kind for e in trace.entries]
+    assert "recovered" in kinds
+    assert not trace.applied()
+
+
+def test_or_else_applies_fallback_after_failure():
+    s = or_else(
+        S.divide_loop("i", 7, ["io", "ii"], perfect=True),
+        S.divide_loop("i", 8, ["io", "ii"], perfect=True),
+    )
+    out, trace = s.apply_traced(_gemv)
+    assert _eq(out, divide_loop(_gemv, "i", 8, ["io", "ii"], perfect=True))
+    # the failed branch was rolled back out of the applied set
+    assert [e.primitive for e in trace.applied()] == ["divide_loop"]
+
+
+def test_pipe_operator_is_or_else():
+    s = S.divide_loop("nope", 8, ["a", "b"]) | S.divide_loop("i", 8, ["io", "ii"], perfect=True)
+    assert _eq(_gemv >> s, divide_loop(_gemv, "i", 8, ["io", "ii"], perfect=True))
+
+
+def test_try_rolls_back_partial_progress_of_a_seq():
+    # first step of the branch succeeds, second fails: the branch result is
+    # discarded and the trace must not list the partial work as applied
+    branch = sq(
+        S.divide_loop("i", 8, ["io", "ii"], perfect=True),
+        S.divide_loop("j", 7, ["jo", "ji"], perfect=True),
+    )
+    out, trace = try_(branch).apply_traced(_gemv)
+    assert out is _gemv
+    assert not trace.applied()
+
+
+# ---------------------------------------------------------------------------
+# repeat / at / traversals
+# ---------------------------------------------------------------------------
+
+
+def test_repeat_until_fail_drains_all_sites():
+    tiled = _gemv >> TILE
+    # io is already outermost: the first iteration fails, repeat stops cleanly
+    out = tiled >> repeat_until_fail(S.lift_scope("io"))
+    assert _eq(out, tiled)
+    # jo can be hoisted exactly once more (past io), then the repeat stops
+    out2, trace = repeat_until_fail(S.lift_scope("jo")).apply_traced(tiled)
+    assert _eq(out2, lift_scope(tiled, "jo"))
+    assert [e.primitive for e in trace.applied()] == ["lift_scope"]
+
+
+def test_repeat_until_fail_makes_progress_then_stops():
+    p = _nest4
+    s = repeat_until_fail(S.unroll_loop(here(lambda c: c)), max_iters=1)
+    # anchored form: unroll the innermost loop once
+    out = p >> at("j", s)
+    direct = unroll_loop(p, "j")
+    assert _eq(out, direct)
+
+
+def test_at_binds_here_for_inner_steps():
+    out = _gemv >> at("j", S.divide_loop(HERE, 8, ["jo", "ji"], perfect=True))
+    assert _eq(out, divide_loop(_gemv, "j", 8, ["jo", "ji"], perfect=True))
+
+
+def test_at_accepts_callable_targets():
+    out = _gemv >> at(lambda p: p.find_loop("i"), S.divide_loop(HERE, 8, ["io", "ii"], perfect=True))
+    assert _eq(out, divide_loop(_gemv, "i", 8, ["io", "ii"], perfect=True))
+
+
+def test_here_outside_focus_raises():
+    with pytest.raises(SchedulingError, match="HERE"):
+        _gemv >> S.divide_loop(HERE, 8, ["io", "ii"])
+
+
+def test_innermost_loops_traversal():
+    out = _nest4 >> innermost_loops(S.unroll_loop(HERE))
+    assert _eq(out, unroll_loop(_nest4, "j"))
+
+
+def test_traversal_skips_failing_sites():
+    # dividing by 3 fails on both loops (4 % 3 != 0, perfect): no change
+    out, trace = innermost_loops(
+        S.divide_loop(HERE, 3, ["a", "b"], perfect=True)
+    ).apply_traced(_nest4)
+    assert _eq(out, _nest4)
+    assert not trace.applied()
+
+
+# ---------------------------------------------------------------------------
+# error-message satellites
+# ---------------------------------------------------------------------------
+
+
+def test_errors_name_the_failing_primitive():
+    with pytest.raises(SchedulingError) as exc:
+        divide_loop(_gemv, "i", 7, ["io", "ii"], perfect=True)
+    assert exc.value.primitive == "divide_loop"
+    assert str(exc.value).startswith("divide_loop")
+
+
+def test_find_loop_suggests_near_misses():
+    with pytest.raises(InvalidCursorError, match=r"no loop 'jo'; did you mean 'j'"):
+        _gemv.find_loop("jo")
+
+
+def test_find_loop_suggestion_lists_candidates():
+    tiled = _gemv >> TILE
+    with pytest.raises(InvalidCursorError, match="did you mean"):
+        tiled.find_loop("jii")
+
+
+def test_kind_mismatch_errors_carry_source_location():
+    with pytest.raises(SchedulingError, match=r"at: "):
+        lift_scope(_gemv, "y[_] += _")
