@@ -1,0 +1,135 @@
+"""End-to-end autotuning of blur and saxpy through ``repro.tune``.
+
+Exercises the whole stack the tuner sits on: first-class schedules with
+named knobs, the replay cache (shared-prefix application across the blur
+sweep, full-schedule hits in the later successive-halving rounds of the
+saxpy sweep), the compiled NumPy engine, and the persisted leaderboard
+(the second saxpy tune warm-starts from the first and must be all cache
+hits on the scheduling side).
+
+Gates (exit non-zero on failure):
+
+* the tuned config is at least as fast as the schedule's hand-picked
+  default on this machine, for both kernels (the default always competes
+  in the sweep, so this checks the plumbing, not luck),
+* the replay cache recorded hits > 0 during the sweeps,
+* the tuned blur and saxpy procedures stay functionally equivalent to
+  their unscheduled kernels.
+
+Emits ``BENCH_autotune.json`` (uploaded by CI): per-kernel tune results,
+the full leaderboard, and replay-cache statistics.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_autotune.py
+"""
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+from repro.api import ReplayCache
+from repro.blas import LEVEL1_KERNELS, level1_schedule, level1_space
+from repro.halide import blur_schedule, blur_space, make_blur
+from repro.interp import check_equiv
+from repro.tune import Leaderboard, Tuner
+
+REPO = Path(__file__).resolve().parent.parent
+OUT_PATH = REPO / "BENCH_autotune.json"
+# the warm-start store; kept out of version control (machine-specific numbers)
+LEADERBOARD_PATH = REPO / ".autotune_leaderboard.json"
+
+
+def tune_saxpy(leaderboard: Leaderboard, cache: ReplayCache):
+    """Successive-halving sweep of the level-1 ILP interleave factor; the
+    surviving configs re-time at higher budgets, which re-applies the same
+    (proc, fingerprint) pairs — full-schedule replay-cache hits."""
+    proc = LEVEL1_KERNELS["saxpy"]
+    tuner = Tuner(
+        proc, level1_schedule(), level1_space(), {"n": 65536},
+        repeats=5, cache=cache, leaderboard=leaderboard,
+    )
+    result = tuner.tune("halving", min_budget=2)
+    equiv = check_equiv(proc, tuner.runner.scheduled(result.best_config), {"n": 65536})
+    return result, equiv
+
+
+def tune_blur(leaderboard: Leaderboard, cache: ReplayCache):
+    """Grid sweep of the blur vector width with the tile knobs held at their
+    defaults — the tiling prefix is knob-invariant, so every candidate after
+    the first hits the replay cache for it."""
+    proc = make_blur()
+    tuner = Tuner(
+        proc, blur_schedule(), blur_space(tiles=False), {"H": 64, "W": 512},
+        repeats=5, cache=cache, leaderboard=leaderboard,
+    )
+    result = tuner.tune("grid")
+    equiv = check_equiv(proc, tuner.runner.scheduled(result.best_config), {"H": 64, "W": 512})
+    return result, equiv
+
+
+def main() -> int:
+    leaderboard = Leaderboard(str(LEADERBOARD_PATH))
+    cache = ReplayCache()
+
+    saxpy_result, saxpy_equiv = tune_saxpy(leaderboard, cache)
+    blur_result, blur_equiv = tune_blur(leaderboard, cache)
+
+    # a re-tune of saxpy must warm-start from the leaderboard and hit the
+    # replay cache for every scheduling application it repeats
+    hits_before = cache.hits
+    saxpy_again, _ = tune_saxpy(leaderboard, cache)
+    retune_hits = cache.hits - hits_before
+
+    results = {"saxpy": saxpy_result, "blur": blur_result, "saxpy_retune": saxpy_again}
+    record = {
+        "bench": "autotune",
+        "machine": saxpy_result.machine,
+        "kernels": {name: r.to_dict() for name, r in results.items()},
+        "equivalent": {"saxpy": bool(saxpy_equiv), "blur": bool(blur_equiv)},
+        "replay_cache": dict(cache.stats(), retune_hits=retune_hits),
+        "leaderboard": leaderboard.to_dict(),
+    }
+    OUT_PATH.write_text(json.dumps(record, indent=2, default=repr) + "\n")
+
+    print("=== Knob-space autotuning (wall clock on the compiled engine) ===")
+
+    def _ms(m):
+        return f"{m.time_s * 1e3:8.3f} ms" if m.ok else f"FAILED ({m.error})"
+
+    for name, r in results.items():
+        print(
+            f"  {name:14s}: default {_ms(r.default)} -> tuned {_ms(r.best)} "
+            f"({r.speedup_vs_default():.2f}x, best {r.best_config}, "
+            f"{len(r.measurements)} candidates)"
+        )
+    print(f"  replay cache  : {cache.stats()} (re-tune hits: {retune_hits})")
+    print(f"  wrote {OUT_PATH.name}")
+
+    failures = []
+    for name, r in results.items():
+        if not (r.best.ok and r.default.ok):
+            failures.append(f"{name}: tuning failed to measure")
+        elif r.best.time_s > r.default.time_s:
+            failures.append(
+                f"{name}: tuned config slower than the hand-picked default "
+                f"({r.best.time_s:.6f}s > {r.default.time_s:.6f}s)"
+            )
+    if cache.hits <= 0:
+        failures.append("replay cache recorded no hits during the sweeps")
+    if retune_hits <= 0:
+        failures.append("the saxpy re-tune did not hit the replay cache")
+    if not saxpy_equiv:
+        failures.append("tuned saxpy is not equivalent to the unscheduled kernel")
+    if not blur_equiv:
+        failures.append("tuned blur is not equivalent to the unscheduled kernel")
+    if failures:
+        print("FAIL:", "; ".join(failures))
+        return 1
+    print("PASS: tuned configs >= hand-picked defaults; replay cache hit during the sweep")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -7,7 +7,9 @@ Run with:  python examples/growing_a_library.py
 
 from __future__ import annotations
 
-from repro import proc, unroll_loop
+from repro import divide_loop, proc, unroll_loop
+from repro.errors import InvalidCursorError
+from repro.ir.printing import expr_str
 from repro.lang import *  # noqa: F401,F403
 from repro.stdlib import (
     fission_after,
@@ -35,7 +37,7 @@ io_loop = stencil.find_loop("io")
 bounds = infer_bounds(stencil, io_loop.body(), "src")
 print("src is accessed within:")
 for lo, hi in zip(bounds.lo, bounds.hi):
-    print(f"  [{lo} : {hi})")
+    print(f"  [{expr_str(lo)} : {expr_str(hi)})")
 
 # --- Action + control flow (Section 3.3): unroll all small loops -----------
 def unroll_small_loops(p, max_iters=4):
@@ -55,12 +57,23 @@ def unroll_small_loops(p, max_iters=4):
     return p
 
 
+# The operator in action: split off a 4-iteration inner loop, then let the
+# inspection-driven unroller find and flatten it.
+small = divide_loop(stencil, "ii", 4, ["iim", "iii"], perfect=True)
+unrolled = unroll_small_loops(small)
+try:
+    unrolled.find_loop("iii")
+    raise AssertionError("unroll_small_loops left the 4-iteration loop in place")
+except InvalidCursorError:
+    print("\nunroll_small_loops flattened the 4-iteration 'iii' loop ✓")
+
 # --- ELEVATE-style traversal + linear-time references (Section 6.3.1) ------
 print("\npost-order traversal of the loop nest:")
 for c in lrn(stencil.find_loop("io")):
     print("  ", type(c).__name__)
 
-# The statement-hoisting combinator of Figure 5c:
-print("\nhoist_stmt is:", hoist_stmt.__name__ if hasattr(hoist_stmt, "__name__") else "repeat(try_else(seq(fission_after, remove_parent_loop), reorder_before))")
+# The statement-hoisting combinator of Figure 5c is itself a composition of
+# user-level operators:
+print("\nhoist_stmt is: repeat(try_else(seq(fission_after, remove_parent_loop), reorder_before))")
 
 print("\nuser-defined operators compose exactly like built-ins ✓")

@@ -16,6 +16,13 @@ Caveat: a cache hit returns the procedure object produced by the *original*
 application, so its provenance chain (for ``forward``) anchors at the original
 input, not at the structurally-equal procedure you passed in.  Cursor-free
 consumers (execution, code generation, metrics) are unaffected.
+
+The module exports one process-wide instance, :data:`schedule_cache`, shared
+by the library batch helpers (``repro.blas.scheduled_level1/2``):
+
+>>> from repro.api import schedule_cache, ReplayCache
+>>> isinstance(schedule_cache, ReplayCache)
+True
 """
 
 from __future__ import annotations
@@ -30,7 +37,17 @@ __all__ = ["ReplayCache", "schedule_cache"]
 
 class ReplayCache:
     """An in-memory map from ``(proc struct_hash, schedule fingerprint)`` to
-    ``(scheduled Procedure, Trace)``, with hit/miss accounting."""
+    ``(scheduled Procedure, Trace)``, with hit/miss accounting.
+
+    >>> from repro.api import ReplayCache, S
+    >>> from repro.blas import LEVEL1_KERNELS
+    >>> cache = ReplayCache()
+    >>> s = S.divide_loop("i", 8, ["io", "ii"])
+    >>> p1 = s.apply(LEVEL1_KERNELS["saxpy"], cache=cache)   # cold: runs
+    >>> p2 = s.apply(LEVEL1_KERNELS["saxpy"], cache=cache)   # warm: cached
+    >>> p1 is p2, cache.stats()
+    (True, {'hits': 1, 'misses': 1, 'entries': 1})
+    """
 
     def __init__(self, maxsize: Optional[int] = None):
         self._store: Dict[Tuple[int, str], Tuple[Procedure, object]] = {}
@@ -40,6 +57,8 @@ class ReplayCache:
 
     @staticmethod
     def key(proc: Procedure, fingerprint: str) -> Tuple[int, str]:
+        """The cache key: structural hash of the object code plus the
+        schedule's knob-resolved fingerprint."""
         return (struct_hash(proc._root), fingerprint)
 
     def get(self, proc: Procedure, fingerprint: str):
@@ -73,5 +92,6 @@ class ReplayCache:
 
 
 #: Process-wide default cache; pass ``cache=schedule_cache`` to
-#: ``Schedule.apply`` (benchmarks and batch kernel generation do).
+#: ``Schedule.apply`` (benchmarks and batch kernel generation do); doctested
+#: in the module docstring above.
 schedule_cache = ReplayCache()

@@ -23,7 +23,15 @@ class KnobError(ExoError):
     choices).  Deliberately *not* a :class:`SchedulingError`: recovery
     combinators (``try_``/``or_else``/traversals) treat scheduling failures
     as recoverable, but a knob-configuration mistake must surface, not turn
-    a sweep into a silent no-op."""
+    a sweep into a silent no-op.
+
+    >>> from repro.api import knob, KnobError
+    >>> try:
+    ...     knob("w", choices=(4, 8)).resolve({"w": 5})
+    ... except KnobError:
+    ...     print("refused")
+    refused
+    """
 
 
 class Knob:
@@ -41,6 +49,13 @@ class Knob:
     choices:
         Optional whitelist of admissible values (the sweep domain an
         autotuner would enumerate); resolution validates against it.
+
+    >>> from repro.api import knob
+    >>> k = knob("tile", 32, choices=(16, 32, 64))
+    >>> k.resolve({"tile": 64})
+    64
+    >>> k.resolve({})                       # falls back to the default
+    32
     """
 
     __slots__ = ("name", "default", "choices")
@@ -83,7 +98,18 @@ class Knob:
 
 
 def knob(name: str, default=None, choices: Optional[Sequence] = None) -> Knob:
-    """Declare a named knob (see :class:`Knob`)."""
+    """Declare a named knob (see :class:`Knob`).
+
+    Knobs can sit anywhere in a schedule's arguments; applying the schedule
+    resolves them against the supplied environment:
+
+    >>> from repro.api import S, knob
+    >>> s = S.divide_loop("i", knob("w", 8), ["io", "ii"])
+    >>> sorted(k.name for k in s.knobs())
+    ['w']
+    >>> s.knob_defaults()
+    {'w': 8}
+    """
     return Knob(name, default=default, choices=choices)
 
 
@@ -92,7 +118,12 @@ def resolve_value(value, env: Optional[Dict[str, object]], leaf=None):
     lists, tuples, and dicts) with its resolved concrete value.
 
     ``leaf`` optionally transforms every non-knob, non-container value — the
-    schedule engine uses it to resolve focus placeholders in the same pass."""
+    schedule engine uses it to resolve focus placeholders in the same pass.
+
+    >>> from repro.api import knob, resolve_value
+    >>> resolve_value(["i", knob("w", 8), {"tail": knob("t", "cut")}], {"w": 4})
+    ['i', 4, {'tail': 'cut'}]
+    """
     if isinstance(value, Knob):
         return value.resolve(env)
     if isinstance(value, list):
@@ -105,7 +136,12 @@ def resolve_value(value, env: Optional[Dict[str, object]], leaf=None):
 
 
 def collect_knobs(value, out: Optional[Set[Knob]] = None) -> Set[Knob]:
-    """All knobs appearing (recursively) inside ``value``."""
+    """All knobs appearing (recursively) inside ``value``.
+
+    >>> from repro.api import knob, collect_knobs
+    >>> sorted(k.name for k in collect_knobs([knob("a"), {"x": (knob("b"), 1)}]))
+    ['a', 'b']
+    """
     if out is None:
         out = set()
     if isinstance(value, Knob):

@@ -22,6 +22,13 @@ produces the transformed procedure and a structured :class:`~repro.api.trace.
 Trace` that serializes to JSON and replays; results are memoisable in a
 :class:`~repro.api.cache.ReplayCache` keyed on ``(proc struct_hash, schedule
 fingerprint)``.
+
+Module-level values: :data:`HERE` is the bare focus placeholder and
+:data:`sched` the decorator spelling of :func:`lift_op`:
+
+>>> from repro.api import HERE, here, sched, lift_op
+>>> isinstance(HERE, here) and sched is lift_op
+True
 """
 
 from __future__ import annotations
@@ -71,6 +78,15 @@ class here:
     traversal combinator; ``here(lambda c: c.after())`` resolves to a
     navigation from it.  The focus is forwarded into the current procedure
     before each use, so edits between steps are transparent.
+
+    >>> from repro.api import S, at, HERE, here
+    >>> from repro.blas import LEVEL1_KERNELS
+    >>> s = at("i", S.divide_loop(HERE, 8, ["io", "ii"]))
+    >>> out = s.apply(LEVEL1_KERNELS["saxpy"])
+    >>> out.find_loop("io").name()
+    'io'
+    >>> here(lambda c: c.body())                  # a navigation from the focus
+    HERE
     """
 
     def __init__(self, nav: Optional[Callable] = None, label: str = "HERE"):
@@ -161,6 +177,15 @@ class Schedule:
 
     Compose with ``a >> b`` (sequencing) and ``a | b`` (fallback); apply with
     ``p >> sched``, :meth:`apply`, or :meth:`apply_traced`.
+
+    >>> from repro.api import S, knob
+    >>> from repro.blas import LEVEL1_KERNELS
+    >>> s = S.divide_loop("i", knob("w", 8), ["io", "ii"]) >> S.unroll_loop("ii")
+    >>> p = s.apply(LEVEL1_KERNELS["saxpy"], w=4)     # one value, any knobs
+    >>> p.find_loop("io").name()
+    'io'
+    >>> s.fingerprint() != s.fingerprint({"w": 4})    # knobs key the cache
+    True
     """
 
     # -- application -----------------------------------------------------------
@@ -280,7 +305,15 @@ class Schedule:
 class Step(Schedule):
     """One lifted operation: a primitive from the registry or a registered
     library function, with curried arguments (possibly containing knobs and
-    focus placeholders)."""
+    focus placeholders).
+
+    >>> from repro.api import S, Step
+    >>> step = S.divide_loop("i", 8, ["io", "ii"])
+    >>> isinstance(step, Step), step.name, step.kind
+    (True, 'divide_loop', 'primitive')
+    >>> step.describe()
+    "divide_loop('i', 8, ['io', 'ii'])"
+    """
 
     def __init__(self, name: str, fn: Callable, args: Sequence, kwargs: Dict, kind: str = "primitive"):
         self.name = name
@@ -526,45 +559,90 @@ class Traverse(Schedule):
 
 
 def seq(*scheds: Schedule) -> Schedule:
-    """Sequential composition of schedules (also spelled ``a >> b``)."""
+    """Sequential composition of schedules (also spelled ``a >> b``).
+
+    >>> from repro.api import S, seq
+    >>> seq(S.divide_loop("i", 4, ["io", "ii"]), S.unroll_loop("ii")).describe()
+    "divide_loop('i', 4, ['io', 'ii']) >> unroll_loop('ii')"
+    """
     return Seq.of(*scheds)
 
 
 def try_(sched_: Schedule, fallback: Optional[Schedule] = None) -> Schedule:
     """Apply ``sched_``; on failure roll back and apply ``fallback`` (or
     nothing).  The failed branch's trace entries are replaced by a structured
-    ``recovered`` record."""
+    ``recovered`` record.
+
+    >>> from repro.api import S, try_
+    >>> from repro.blas import LEVEL1_KERNELS
+    >>> p = LEVEL1_KERNELS["saxpy"]
+    >>> out = try_(S.unroll_loop("i")).apply(p)    # symbolic bound: fails
+    >>> str(out) == str(p)                         # ... and rolls back to p
+    True
+    """
     return TryElse(sched_, fallback)
 
 
 def or_else(primary: Schedule, fallback: Schedule) -> Schedule:
-    """``try_`` with a mandatory fallback (also spelled ``a | b``)."""
+    """``try_`` with a mandatory fallback (also spelled ``a | b``).
+
+    >>> from repro.api import S, or_else
+    >>> or_else(S.unroll_loop("i"), S.simplify()).describe()
+    "(unroll_loop('i') | simplify())"
+    """
     return TryElse(primary, fallback)
 
 
 def repeat_until_fail(sched_: Schedule, max_iters: Optional[int] = None) -> Schedule:
-    """Apply ``sched_`` until it raises a scheduling error."""
+    """Apply ``sched_`` until it raises a scheduling error.
+
+    >>> from repro.api import S, repeat_until_fail
+    >>> repeat_until_fail(S.lift_scope("jo"), max_iters=3).describe()
+    "repeat_until_fail(lift_scope('jo'))"
+    """
     return RepeatUntilFail(sched_, max_iters)
 
 
 def at(target, sched_: Schedule) -> Schedule:
     """Anchor ``sched_``'s ``HERE`` at ``target`` (loop name, pattern, cursor,
-    or ``proc -> cursor`` callable)."""
+    or ``proc -> cursor`` callable).
+
+    >>> from repro.api import S, at, HERE
+    >>> from repro.blas import LEVEL1_KERNELS
+    >>> out = at("i", S.divide_loop(HERE, 8, ["io", "ii"])).apply(LEVEL1_KERNELS["saxpy"])
+    >>> out.find_loop("ii").name()
+    'ii'
+    """
     return At(target, sched_)
 
 
 def topdown(sched_: Schedule, select: Optional[Callable] = None) -> Schedule:
-    """Apply ``sched_`` at every statement in pre-order (failures skip)."""
+    """Apply ``sched_`` at every statement in pre-order (failures skip).
+
+    >>> from repro.api import S, topdown
+    >>> topdown(S.simplify()).describe()
+    'topdown(simplify())'
+    """
     return Traverse("topdown", sched_, select)
 
 
 def bottomup(sched_: Schedule, select: Optional[Callable] = None) -> Schedule:
-    """Apply ``sched_`` at every statement in post-order (failures skip)."""
+    """Apply ``sched_`` at every statement in post-order (failures skip).
+
+    >>> from repro.api import S, bottomup
+    >>> bottomup(S.simplify()).describe()
+    'bottomup(simplify())'
+    """
     return Traverse("bottomup", sched_, select)
 
 
 def innermost_loops(sched_: Schedule) -> Schedule:
-    """Apply ``sched_`` at every innermost loop (failures skip)."""
+    """Apply ``sched_`` at every innermost loop (failures skip).
+
+    >>> from repro.api import S, innermost_loops, HERE
+    >>> innermost_loops(S.divide_loop(HERE, 4, ["o", "v"])).describe()
+    "innermost_loops(divide_loop(HERE, 4, ['o', 'v']))"
+    """
     return Traverse("innermost_loops", sched_, lambda c: isinstance(c, ForCursor))
 
 
@@ -580,7 +658,16 @@ def register_op(fn: Callable, name: Optional[str] = None) -> Callable:
     """Register a user-level scheduling operation (``Op = Proc × ... → Proc``)
     so it appears on the :data:`S` namespace next to the primitives.
 
-    Returns ``fn`` unchanged, so it is usable as a decorator."""
+    Returns ``fn`` unchanged, so it is usable as a decorator.
+
+    >>> from repro.api import S, register_op
+    >>> from repro.primitives import simplify
+    >>> def tidy(proc):
+    ...     return simplify(proc)
+    >>> _ = register_op(tidy, "tidy_doctest")
+    >>> S.tidy_doctest().describe()
+    'tidy_doctest()'
+    """
     opname = name or fn.__name__
     if opname in _prim_base.PRIMITIVE_REGISTRY:
         raise ValueError(f"register_op: {opname!r} is already a scheduling primitive")
@@ -594,7 +681,14 @@ def lift_op(fn: Callable, name: Optional[str] = None, *, register: bool = False)
 
     With ``register=True`` the function is also :func:`register_op`'d under
     the same name, so the ``S``-namespace spelling and the returned factory
-    cannot drift apart."""
+    cannot drift apart.
+
+    >>> from repro.api import lift_op, Schedule
+    >>> from repro.primitives import divide_loop
+    >>> divide = lift_op(divide_loop)
+    >>> isinstance(divide("i", 8, ["io", "ii"]), Schedule)
+    True
+    """
     opname = name or getattr(fn, "__name__", "op")
     target = getattr(fn, "__wrapped__", None)
     kind = "primitive" if getattr(fn, "is_scheduling_primitive", False) else "lib"
@@ -611,14 +705,25 @@ def lift_op(fn: Callable, name: Optional[str] = None, *, register: bool = False)
 
 
 #: Decorator spelling of :func:`lift_op`: ``@sched`` on an Op-shaped function
-#: returns a Schedule factory.
+#: returns a Schedule factory (doctested in the module docstring).
 sched = lift_op
 
 
 class _OpNamespace:
     """``S`` — every scheduling primitive (auto-lifted from the registry in
     :mod:`repro.primitives._base`) plus every :func:`register_op`'d library
-    operation, in curried ``Schedule``-returning form."""
+    operation, in curried ``Schedule``-returning form.
+
+    >>> from repro.api import S, Schedule
+    >>> "divide_loop" in dir(S) and "tile2D" in dir(S)
+    True
+    >>> isinstance(S.divide_loop("i", 8, ["io", "ii"]), Schedule)
+    True
+    >>> S.divide_lop                                # doctest: +ELLIPSIS
+    Traceback (most recent call last):
+        ...
+    AttributeError: S: no scheduling primitive or registered op named 'divide_lop'; did you mean ...
+    """
 
     def __getattr__(self, name: str) -> Callable:
         fn = _prim_base.PRIMITIVE_REGISTRY.get(name) or LIBRARY_REGISTRY.get(name)

@@ -49,7 +49,15 @@ __all__ = [
 
 class ReplayError(ExoError):
     """A serialized trace cannot be replayed (unknown primitive, opaque
-    argument, or unresolvable reference)."""
+    argument, or unresolvable reference).
+
+    >>> from repro.api import Trace, ReplayError
+    >>> try:
+    ...     Trace.from_dict({"version": 99})
+    ... except ReplayError:
+    ...     print("refused")
+    refused
+    """
 
 
 # ---------------------------------------------------------------------------

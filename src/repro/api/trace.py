@@ -43,7 +43,16 @@ def state_hash(proc: Procedure) -> str:
     state it produced (``post``).  Replay follows the ``pre``/``post`` chain
     backward from the final state, so work that a library function performed
     and then discarded in a plain-Python ``try/except`` (invisible to the
-    combinator rollback machinery) is pruned instead of being re-applied."""
+    combinator rollback machinery) is pruned instead of being re-applied.
+
+    >>> from repro.api.trace import state_hash
+    >>> from repro.blas import LEVEL1_KERNELS
+    >>> h = state_hash(LEVEL1_KERNELS["saxpy"])
+    >>> len(h), h == state_hash(LEVEL1_KERNELS["saxpy"])
+    (16, True)
+    >>> h == state_hash(LEVEL1_KERNELS["sdot"])
+    False
+    """
     return hashlib.sha256(str(proc).encode()).hexdigest()[:16]
 
 
@@ -54,6 +63,15 @@ class TraceEntry:
     ``"applied"`` or ``"failed"``), ``"warning"`` (a structured observation,
     e.g. a forwarded cursor coming back invalidated), or ``"recovered"`` (a
     combinator rolled the preceding failed branch back and continued).
+
+    Entries round-trip through plain dicts for JSON serialization:
+
+    >>> from repro.api import TraceEntry
+    >>> e = TraceEntry(primitive="divide_loop", args=["i", 8], outcome="applied", edits=3)
+    >>> TraceEntry.from_dict(e.to_dict()).to_dict() == e.to_dict()
+    True
+    >>> e
+    <TraceEntry divide_loop [applied, 3 edits]>
     """
 
     __slots__ = (
@@ -131,7 +149,21 @@ class TraceEntry:
 
 
 class Trace:
-    """A structured record of one schedule application."""
+    """A structured record of one schedule application.
+
+    >>> from repro.api import S
+    >>> from repro.blas import LEVEL1_KERNELS
+    >>> out, trace = S.divide_loop("i", 8, ["io", "ii"]).apply_traced(LEVEL1_KERNELS["saxpy"])
+    >>> [e.primitive for e in trace.applied()]
+    ['divide_loop']
+    >>> trace.replayable() and trace.total_edits() > 0
+    True
+    >>> trace.summary()
+    {'divide_loop': 1}
+    >>> import json
+    >>> json.loads(trace.to_json())["proc"]
+    'saxpy'
+    """
 
     def __init__(
         self,
@@ -221,6 +253,15 @@ class TraceRecorder:
     Activated with :meth:`activate`/:meth:`deactivate` (or used as a context
     manager), which register it with the primitive decorator's recorder stack
     and with the cursor-invalidation observers of :class:`Procedure`.
+
+    >>> from repro.api import TraceRecorder
+    >>> from repro.blas import LEVEL1_KERNELS
+    >>> from repro.primitives import divide_loop
+    >>> rec = TraceRecorder()
+    >>> with rec:
+    ...     _ = divide_loop(LEVEL1_KERNELS["saxpy"], "i", 8, ["io", "ii"])
+    >>> [e.primitive for e in rec.trace.applied()]
+    ['divide_loop']
     """
 
     def __init__(self):
@@ -365,6 +406,13 @@ def replay(trace, proc: Procedure) -> Procedure:
     ``pre`` state hash is checked before it re-runs.  Failed, warning, and
     discarded-branch entries are skipped; only the invocations on the state
     chain re-run.
+
+    >>> from repro.api import S, replay
+    >>> from repro.blas import LEVEL1_KERNELS
+    >>> out, trace = S.divide_loop("i", 8, ["io", "ii"]).apply_traced(LEVEL1_KERNELS["saxpy"])
+    >>> again = replay(trace.to_json(), LEVEL1_KERNELS["saxpy"])
+    >>> str(again) == str(out)
+    True
     """
     if isinstance(trace, str):
         trace = Trace.from_json(trace)

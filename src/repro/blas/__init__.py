@@ -16,16 +16,22 @@ from .level3 import gen_ukernel, schedule_sgemm, sgemm_micro_kernel
 from .reference import kernel_flops_bytes, level1_reference, level2_reference
 from .schedules import (
     level1_schedule,
+    level1_space,
     level2_schedule,
+    level2_space,
     scheduled_level1,
     scheduled_level2,
     skinny_schedule,
+    skinny_space,
 )
 
 __all__ = [
     "level1_schedule",
     "level2_schedule",
     "skinny_schedule",
+    "level1_space",
+    "level2_space",
+    "skinny_space",
     "scheduled_level1",
     "scheduled_level2",
     "LEVEL1_KERNELS",

@@ -26,6 +26,9 @@ __all__ = [
     "level1_schedule",
     "level2_schedule",
     "skinny_schedule",
+    "level1_space",
+    "level2_space",
+    "skinny_space",
     "scheduled_level1",
     "scheduled_level2",
 ]
@@ -57,6 +60,30 @@ def skinny_schedule(out_loop: str, vw: int, precision: str = "f32", machine=None
     (default 2)."""
     machine = machine or _default_machine()
     return skinny(out_loop, vw, machine.mem_type, precision, machine, knob("interleave", 2))
+
+
+def level1_space():
+    """The tunable domain of :func:`level1_schedule` for the autotuner:
+    ILP interleave factors worth trying on any of the modelled machines."""
+    from ..tune import Param, Space
+
+    return Space(Param.pow2("interleave", 1, 8))
+
+
+def level2_space():
+    """The tunable domain of :func:`level2_schedule`: unroll-and-jam rows ×
+    inner interleave columns."""
+    from ..tune import Param, Space
+
+    return Space(Param.pow2("rows", 1, 4), Param.pow2("cols", 1, 4))
+
+
+def skinny_space():
+    """The tunable domain of :func:`skinny_schedule` (same ILP axis as
+    level 1)."""
+    from ..tune import Param, Space
+
+    return Space(Param.pow2("interleave", 1, 4))
 
 
 def _default_machine():

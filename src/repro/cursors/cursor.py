@@ -775,6 +775,50 @@ def _loop_names_below(proc, base_path: Path) -> List[str]:
     return names
 
 
+class LoopNotFoundError(InvalidCursorError):
+    """``find_loop`` failed.  The near-miss suggestion ("did you mean 'j'?")
+    requires walking every loop in scope and running difflib over the names —
+    pure waste when a caller catches the error and recovers (``to_loop_cursor``
+    and ``at(...)`` fall back to pattern search, and library code probes
+    optional loops in ``try/except`` all the time).  The walk is therefore
+    deferred to :meth:`__str__`: it only ever runs when the failure actually
+    surfaces as a rendered message."""
+
+    def __init__(self, proc, base_path: Path, name: str, fallback: str):
+        super().__init__(fallback)
+        self._proc = proc
+        self._base_path = tuple(base_path)
+        self._name = name
+        self._fallback = fallback
+        self._rendered: Optional[str] = None
+
+    def _render(self) -> str:
+        import difflib
+
+        try:
+            names = _loop_names_below(self._proc, self._base_path)
+        except Exception:  # pragma: no cover - defensive
+            return self._fallback
+        if self._name in names:
+            return self._fallback  # the name exists; the failure is an occurrence selector
+        close = difflib.get_close_matches(self._name, names, n=3, cutoff=0.4) or sorted(names)[:4]
+        if close:
+            suggestion = ", ".join(repr(n) for n in close)
+            return f"no loop {self._name!r}; did you mean {suggestion}?"
+        return f"no loop {self._name!r}; the scope contains no loops"
+
+    def __str__(self) -> str:
+        if self._rendered is None:
+            self._rendered = self._render()
+        return self._rendered
+
+    def __reduce__(self):
+        # the lazy walk cannot cross a process boundary (the procedure does
+        # not travel with the exception): render eagerly and pickle as the
+        # base class with the final message
+        return (InvalidCursorError, (str(self),))
+
+
 def _find_loop(proc, base_path: Path, name: str, many: bool):
     name, _, occ = name.partition("#")
     name = name.strip()
@@ -784,17 +828,7 @@ def _find_loop(proc, base_path: Path, name: str, many: bool):
     try:
         return _find(proc, base_path, pattern, many)
     except InvalidCursorError as err:
-        # near-miss help: suggest existing loop names close to the request
-        import difflib
-
-        try:
-            names = _loop_names_below(proc, base_path)
-        except Exception:  # pragma: no cover - defensive
-            raise err from None
-        if name in names:
-            raise  # the name exists; the failure is an occurrence selector
-        close = difflib.get_close_matches(name, names, n=3, cutoff=0.4) or sorted(names)[:4]
-        if close:
-            suggestion = ", ".join(repr(n) for n in close)
-            raise InvalidCursorError(f"no loop {name!r}; did you mean {suggestion}?") from None
-        raise InvalidCursorError(f"no loop {name!r}; the scope contains no loops") from None
+        # Raise a lazy error: the suggestion walk stays guarded behind the
+        # *surfaced*-failure branch (message rendering), so recovered lookups
+        # never pay for it.
+        raise LoopNotFoundError(proc, base_path, name, str(err)) from None

@@ -3,6 +3,7 @@
 from .schedule import (
     make_matmul_kernel,
     matmul_schedule,
+    matmul_space,
     schedule_matmul_gemmini,
     schedule_matmul_gemmini_exo_style,
 )
@@ -10,6 +11,7 @@ from .schedule import (
 __all__ = [
     "make_matmul_kernel",
     "matmul_schedule",
+    "matmul_space",
     "schedule_matmul_gemmini",
     "schedule_matmul_gemmini_exo_style",
 ]

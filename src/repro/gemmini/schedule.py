@@ -34,6 +34,7 @@ from ..stdlib.tiling import auto_stage_mem, cleanup, tile2D
 __all__ = [
     "make_matmul_kernel",
     "matmul_schedule",
+    "matmul_space",
     "schedule_matmul_gemmini",
     "schedule_matmul_gemmini_exo_style",
 ]
@@ -136,6 +137,16 @@ def matmul_schedule() -> Schedule:
     """The full Gemmini matmul schedule as a first-class value; knob ``tile``
     (default 16) sets the systolic-array tile size."""
     return _matmul_op(knob("tile", 16))
+
+
+def matmul_space():
+    """The tunable domain of :func:`matmul_schedule` — a deliberate
+    single-point space: Gemmini's systolic array is 16×16, so ``tile`` has
+    exactly one admissible value.  Tuning it degenerates to measuring the one
+    candidate, which exercises the autotuner's single-point path."""
+    from ..tune import Param, Space
+
+    return Space(Param("tile", (16,)))
 
 
 def schedule_matmul_gemmini(p=None, tile: int = 16):

@@ -18,7 +18,14 @@ from .library import (
     tile,
     vectorize_stage,
 )
-from .schedules import blur_schedule, schedule_blur, schedule_unsharp, unsharp_schedule
+from .schedules import (
+    blur_schedule,
+    blur_space,
+    schedule_blur,
+    schedule_unsharp,
+    unsharp_schedule,
+    unsharp_space,
+)
 
 __all__ = [
     "make_blur",
@@ -32,6 +39,8 @@ __all__ = [
     "compute_store_at",
     "blur_schedule",
     "unsharp_schedule",
+    "blur_space",
+    "unsharp_space",
     # deprecated shims + helpers
     "H_tile",
     "H_parallel",

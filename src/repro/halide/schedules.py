@@ -27,7 +27,14 @@ from .library import (
     vectorize_stage,
 )
 
-__all__ = ["blur_schedule", "unsharp_schedule", "schedule_blur", "schedule_unsharp"]
+__all__ = [
+    "blur_schedule",
+    "unsharp_schedule",
+    "blur_space",
+    "unsharp_space",
+    "schedule_blur",
+    "schedule_unsharp",
+]
 
 
 def blur_schedule(machine=None, *, fuse_stages: bool = False) -> Schedule:
@@ -70,6 +77,27 @@ def unsharp_schedule(machine=None, *, fuse_stages: bool = False) -> Schedule:
         S.cleanup(),
     ]
     return Seq.of(*steps)
+
+
+def blur_space(*, tiles: bool = True):
+    """The tunable domain of :func:`blur_schedule` for the autotuner.
+
+    ``tiles=False`` restricts the sweep to the vector width, leaving the tile
+    knobs at their defaults — with the tiling steps then knob-invariant, the
+    tuner's shared-prefix split applies them once and every other candidate
+    hits the replay cache for that prefix.
+    """
+    from ..tune import Param, Space
+
+    params = [Param("vec", (4, 8, 16))]
+    if tiles:
+        params = [Param("tile_y", (16, 32, 64)), Param("tile_x", (128, 256, 512))] + params
+    return Space(*params)
+
+
+def unsharp_space(*, tiles: bool = True):
+    """The tunable domain of :func:`unsharp_schedule` (same axes as blur)."""
+    return blur_space(tiles=tiles)
 
 
 def schedule_blur(machine=None, tile_y: int = 32, tile_x: int = 256, vec: int = 16, fuse_stages: bool = False):

@@ -1,0 +1,166 @@
+"""The autotuning leaderboard: persisted, machine-keyed tuning results.
+
+Every measurement a tune run produces is recorded under the board key
+
+    ``(proc digest, schedule fingerprint, machine id)``
+
+— the digest identifies the object code being scheduled (the sha256 of its
+printed form, via :func:`repro.api.trace.state_hash`: unlike the in-memory
+``struct_hash``, whose symbol hashing is randomized per process, it is
+stable across process restarts — the whole point of persisting), the
+*default-resolved* schedule fingerprint identifies the schedule family being
+swept, and the machine id pins the numbers to the hardware they were
+measured on (knob optima are machine-dependent; a leaderboard from another
+box must not warm-start this one).  Re-running a tune loads the board first
+and seeds the search with the persisted best config, so repeated tuning
+converges instead of starting blind.
+
+The on-disk format is one JSON object ``{"version": 1, "boards": {key:
+board}}`` where each board holds per-config best times plus the current
+champion.  Corrupt or future-versioned files raise :class:`TuneError` rather
+than silently starting an empty board.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+from typing import Dict, List, Optional
+
+from ..api.trace import state_hash
+from ..core.procedure import Procedure
+from .runner import Measurement
+from .space import Config, TuneError
+
+__all__ = ["Leaderboard", "machine_id", "board_key"]
+
+
+def _cpu_model() -> str:
+    """The CPU model string.  ``platform.processor()`` is empty on most
+    Linux systems, which would collapse distinct CPUs into one leaderboard
+    key — read ``/proc/cpuinfo`` there."""
+    try:
+        with open("/proc/cpuinfo") as f:
+            for line in f:
+                if line.lower().startswith("model name"):
+                    return line.split(":", 1)[1].strip()
+    except OSError:
+        pass
+    return platform.processor() or "cpu"
+
+
+def machine_id() -> str:
+    """A stable identifier for the measuring machine (OS + ISA + CPU model);
+    tuned knob values are only comparable within one of these."""
+    return f"{platform.system()}-{platform.machine()}-{_cpu_model()}".replace(" ", "_")
+
+
+def board_key(proc: Procedure, schedule, machine: Optional[str] = None) -> str:
+    """The leaderboard key for tuning ``schedule`` on ``proc``: a
+    process-stable digest of the object code, the default-resolved schedule
+    fingerprint, and the machine id."""
+    return f"{state_hash(proc)}/{schedule.fingerprint()}/{machine or machine_id()}"
+
+
+def _config_key(config: Config) -> str:
+    return json.dumps(config, sort_keys=True, default=repr)
+
+
+_VERSION = 1
+
+
+class Leaderboard:
+    """A map from board keys to per-config tuning results, persisted as JSON.
+
+    ``path=None`` keeps the board in memory only (tests, throwaway sweeps).
+    :meth:`record` keeps the best time seen per config and maintains the
+    champion entry; :meth:`best` hands back the champion for warm-starting.
+    """
+
+    def __init__(self, path: Optional[str] = None):
+        self.path = path
+        self.boards: Dict[str, dict] = {}
+        if path is not None and os.path.exists(path):
+            self.load()
+
+    # -- persistence -----------------------------------------------------------
+
+    def load(self) -> None:
+        try:
+            with open(self.path) as f:
+                data = json.load(f)
+        except (OSError, json.JSONDecodeError) as err:
+            raise TuneError(f"leaderboard {self.path!r} is unreadable: {err}") from err
+        if not isinstance(data, dict) or data.get("version") != _VERSION:
+            raise TuneError(
+                f"leaderboard {self.path!r}: unsupported version {data.get('version')!r}"
+            )
+        self.boards = data.get("boards", {})
+
+    def save(self) -> None:
+        if self.path is None:
+            return
+        tmp = f"{self.path}.tmp"
+        with open(tmp, "w") as f:
+            json.dump(self.to_dict(), f, indent=2, default=repr)
+            f.write("\n")
+        os.replace(tmp, self.path)
+
+    def to_dict(self) -> dict:
+        return {"version": _VERSION, "boards": self.boards}
+
+    # -- recording -------------------------------------------------------------
+
+    def _board(self, key: str) -> dict:
+        return self.boards.setdefault(key, {"entries": {}, "best": None})
+
+    def record(self, key: str, measurement: Measurement) -> None:
+        """Fold one measurement into the board: per-config minimum time,
+        champion update.  Failed measurements are kept (with their error) so
+        a re-tune can see which corners of the space are infeasible."""
+        board = self._board(key)
+        ck = _config_key(measurement.config)
+        prev = board["entries"].get(ck)
+        entry = measurement.to_dict()
+        if prev is not None and prev.get("status") == "ok":
+            if not measurement.ok or prev["time_s"] <= measurement.time_s:
+                entry = prev
+        board["entries"][ck] = entry
+        best = board["best"]
+        if entry.get("status") == "ok" and (
+            best is None or best.get("time_s") is None or entry["time_s"] < best["time_s"]
+        ):
+            board["best"] = dict(entry)
+
+    def record_many(self, key: str, measurements: List[Measurement]) -> None:
+        for m in measurements:
+            self.record(key, m)
+
+    # -- queries ---------------------------------------------------------------
+
+    def best(self, key: str) -> Optional[dict]:
+        """The champion entry (``Measurement.to_dict()`` shape) or ``None``."""
+        board = self.boards.get(key)
+        return dict(board["best"]) if board and board.get("best") else None
+
+    def entries(self, key: str) -> List[dict]:
+        board = self.boards.get(key)
+        return [dict(e) for e in board["entries"].values()] if board else []
+
+    def stats(self, key: str) -> dict:
+        entries = self.entries(key)
+        ok = [e for e in entries if e.get("status") == "ok"]
+        return {
+            "configs": len(entries),
+            "ok": len(ok),
+            "errors": len(entries) - len(ok),
+            "best": self.best(key),
+        }
+
+    def __len__(self) -> int:
+        return len(self.boards)
+
+    def __repr__(self) -> str:
+        where = self.path or "<memory>"
+        return f"<Leaderboard {where}: {len(self.boards)} boards>"

@@ -1,0 +1,345 @@
+"""Candidate evaluation: apply the schedule, compile, time.
+
+The runner turns one knob environment into a wall-clock measurement:
+
+1. **apply** — the :class:`~repro.api.schedule.Schedule` is applied to the
+   procedure through a shared :class:`~repro.api.cache.ReplayCache`.  For
+   ``seq``-shaped schedules the runner splits off the longest prefix whose
+   steps reference none of the swept knobs and applies it as its own cached
+   sub-schedule, so every candidate in a sweep after the first hits the cache
+   for the shared prefix instead of re-running it (re-evaluations — e.g. the
+   later rounds of successive halving — hit for the full schedule).
+2. **compile** — the scheduled procedure is lowered once by the compiled
+   NumPy engine (:mod:`repro.interp.compile`); compile statistics ride along
+   on the measurement.
+3. **time** — best-of-``repeats`` wall clock of ``run_proc`` on random
+   arguments of the requested sizes, with fresh argument copies per repeat
+   (kernels mutate their buffers in place) and the argument setup excluded
+   from the timed window — the same discipline as
+   ``benchmarks/bench_exec_throughput.py``.
+
+Scheduling failures (``SchedulingError``/``InvalidCursorError``) mark the
+measurement ``status="error"`` so a search can prune the candidate, but a
+:class:`~repro.api.knobs.KnobError` always propagates: a mis-configured sweep
+must surface, not score as a slow candidate.
+
+Process-level isolation (``evaluate_spec`` / ``evaluate_parallel``) runs
+candidates in worker processes via :mod:`concurrent.futures`: the candidate
+is described by an importable *spec* (dotted references to the procedure and
+schedule factories plus JSON-able arguments), so a crashing or pathological
+candidate cannot take the tuner down and independent candidates time on
+separate cores.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..api.cache import ReplayCache
+from ..api.knobs import KnobError
+from ..api.schedule import Schedule, Seq
+from ..core.procedure import Procedure
+from ..errors import InvalidCursorError, SchedulingError
+from ..interp import compile_proc, make_random_args, run_proc
+from .space import Config, TuneError
+
+__all__ = [
+    "Measurement",
+    "ScheduleRunner",
+    "split_prefix",
+    "evaluate_spec",
+    "evaluate_parallel",
+]
+
+
+class Measurement:
+    """The outcome of evaluating one candidate config.
+
+    ``status`` is ``"ok"`` (timed), or ``"error"`` (the schedule refused this
+    config — recoverable, the search prunes it).  ``score`` is the sort key:
+    the best wall-clock seconds, or ``inf`` for failed candidates.
+    """
+
+    __slots__ = ("config", "time_s", "repeats", "status", "error", "compile_stats")
+
+    def __init__(
+        self,
+        config: Config,
+        time_s: Optional[float] = None,
+        repeats: int = 0,
+        status: str = "ok",
+        error: Optional[str] = None,
+        compile_stats: Optional[dict] = None,
+    ):
+        self.config = dict(config)
+        self.time_s = time_s
+        self.repeats = repeats
+        self.status = status
+        self.error = error
+        self.compile_stats = compile_stats
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    @property
+    def score(self) -> float:
+        return self.time_s if self.ok and self.time_s is not None else float("inf")
+
+    def to_dict(self) -> dict:
+        return {
+            "config": self.config,
+            "time_s": self.time_s,
+            "repeats": self.repeats,
+            "status": self.status,
+            "error": self.error,
+            "compile_stats": self.compile_stats,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "Measurement":
+        return cls(
+            d["config"],
+            time_s=d.get("time_s"),
+            repeats=d.get("repeats", 0),
+            status=d.get("status", "ok"),
+            error=d.get("error"),
+            compile_stats=d.get("compile_stats"),
+        )
+
+    def __repr__(self) -> str:
+        if self.ok:
+            return f"<Measurement {self.config} {self.time_s * 1e3:.3f} ms (best of {self.repeats})>"
+        return f"<Measurement {self.config} {self.status}: {self.error}>"
+
+
+def split_prefix(schedule: Schedule, swept: Sequence[str]):
+    """Split a ``seq``-shaped schedule into ``(prefix, suffix)`` where the
+    prefix is the longest leading run of steps referencing none of the
+    ``swept`` knob names.  Every candidate in a sweep shares the prefix's
+    output, so applying it as its own cached schedule turns N prefix runs
+    into one.  Non-``Seq`` schedules (or ones whose first step already uses a
+    swept knob) return ``(None, schedule)``.
+    """
+    swept = set(swept)
+    if not isinstance(schedule, Seq) or not swept:
+        return None, schedule
+    cut = 0
+    for step in schedule.steps:
+        if {k.name for k in step.knobs()} & swept:
+            break
+        cut += 1
+    if cut == 0 or cut == len(schedule.steps):
+        return None, schedule
+    return Seq(schedule.steps[:cut]), Seq(schedule.steps[cut:])
+
+
+def _restrict(config: Optional[Config], schedule: Schedule) -> Config:
+    """The subset of ``config`` naming knobs this (sub-)schedule declares —
+    ``Schedule.apply`` rejects unknown names, which is right for user calls
+    but wrong for the runner's own prefix/suffix split."""
+    declared = {k.name for k in schedule.knobs()}
+    return {k: v for k, v in (config or {}).items() if k in declared}
+
+
+class ScheduleRunner:
+    """Evaluates knob configs for one ``(procedure, schedule)`` pair.
+
+    ``size_env`` supplies the problem sizes the timing runs at; ``repeats``
+    is the default best-of count; ``swept`` (usually the space's param names)
+    enables the shared-prefix split described in the module docstring.
+    """
+
+    def __init__(
+        self,
+        proc: Procedure,
+        schedule: Schedule,
+        size_env: Dict[str, int],
+        *,
+        repeats: int = 3,
+        seed: int = 0,
+        cache: Optional[ReplayCache] = None,
+        swept: Optional[Sequence[str]] = None,
+    ):
+        if not isinstance(proc, Procedure):
+            raise TuneError(f"ScheduleRunner: expected a Procedure, got {type(proc).__name__}")
+        if not isinstance(schedule, Schedule):
+            raise TuneError(f"ScheduleRunner: expected a Schedule, got {type(schedule).__name__}")
+        self.proc = proc
+        self.schedule = schedule
+        self.size_env = dict(size_env)
+        self.repeats = repeats
+        self.seed = seed
+        self.cache = cache if cache is not None else ReplayCache()
+        self.prefix, self.suffix = split_prefix(schedule, swept or [])
+
+    # -- scheduling ------------------------------------------------------------
+
+    def scheduled(self, config: Optional[Config] = None) -> Procedure:
+        """Apply the schedule under ``config`` through the replay cache,
+        sharing the swept-knob-free prefix across candidates."""
+        declared = {k.name for k in self.schedule.knobs()}
+        unknown = sorted(set(config or {}) - declared)
+        if unknown:
+            # _restrict below silently splits the config between the prefix
+            # and suffix sub-schedules, so the unknown-name check the full
+            # schedule would have performed must happen here
+            raise KnobError(
+                f"config names unknown knob(s) {unknown}; this schedule declares "
+                f"{sorted(declared) if declared else 'no knobs'}"
+            )
+        if self.prefix is None:
+            return self.schedule.apply(self.proc, _restrict(config, self.schedule), cache=self.cache)
+        base = self.prefix.apply(self.proc, _restrict(config, self.prefix), cache=self.cache)
+        return self.suffix.apply(base, _restrict(config, self.suffix), cache=self.cache)
+
+    # -- timing ----------------------------------------------------------------
+
+    def _time(self, scheduled: Procedure, repeats: int) -> float:
+        base = make_random_args(scheduled, self.size_env, seed=self.seed)
+
+        def fresh():
+            return {
+                k: (v.copy() if isinstance(v, np.ndarray) else v) for k, v in base.items()
+            }
+
+        run_proc(scheduled, **fresh())  # warm-up absorbs one-time compilation
+        best = float("inf")
+        for _ in range(max(1, repeats)):
+            args = fresh()
+            t0 = time.perf_counter()
+            run_proc(scheduled, **args)
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    def evaluate(self, config: Optional[Config] = None, repeats: Optional[int] = None) -> Measurement:
+        """Schedule, compile, and time one candidate.  Returns an ``"error"``
+        measurement on scheduling failure; lets :class:`KnobError` escape."""
+        config = dict(config or {})
+        repeats = self.repeats if repeats is None else repeats
+        try:
+            scheduled = self.scheduled(config)
+        except KnobError:
+            raise  # a sweep configuration bug, never a prunable candidate
+        except (SchedulingError, InvalidCursorError) as err:
+            return Measurement(config, status="error", error=str(err))
+        try:
+            stats = compile_proc(scheduled).stats()
+            best = self._time(scheduled, repeats)
+        except Exception as err:  # a crashing candidate must not end the tune
+            return Measurement(
+                config, status="error", error=f"{type(err).__name__}: {err}"
+            )
+        return Measurement(config, time_s=best, repeats=repeats, compile_stats=stats)
+
+    def evaluate_many(
+        self, configs: Sequence[Config], repeats: Optional[int] = None
+    ) -> List[Measurement]:
+        return [self.evaluate(c, repeats=repeats) for c in configs]
+
+
+# ---------------------------------------------------------------------------
+# Process-level isolation
+# ---------------------------------------------------------------------------
+
+
+def _resolve_ref(path: str, args: Sequence = (), kwargs: Optional[dict] = None):
+    """Import ``"pkg.mod:attr"`` and build the referenced object: mappings are
+    indexed by ``args[0]``, callables are called with ``args``/``kwargs``,
+    anything else is returned as-is."""
+    import importlib
+
+    if ":" not in path:
+        raise TuneError(f"spec reference {path!r} must look like 'pkg.mod:attr'")
+    modname, attr = path.split(":", 1)
+    obj = getattr(importlib.import_module(modname), attr)
+    if isinstance(obj, dict):
+        if len(args) != 1:
+            raise TuneError(f"spec reference {path!r} is a mapping; pass exactly one key arg")
+        return obj[args[0]]
+    if callable(obj) and not isinstance(obj, Procedure):
+        return obj(*args, **(kwargs or {}))
+    return obj
+
+
+def evaluate_spec(spec: dict) -> dict:
+    """Evaluate one candidate described entirely by JSON-able data (run in a
+    worker process by :func:`evaluate_parallel`, but callable inline too).
+
+    Spec keys: ``proc`` / ``schedule`` (dotted ``"pkg.mod:attr"`` references,
+    with optional ``proc_args`` / ``schedule_args`` / ``schedule_kwargs``),
+    ``config``, ``size_env``, ``repeats``, ``seed``.  Returns
+    ``Measurement.to_dict()`` with a ``"knob-error"`` status reserved for
+    :class:`KnobError` so the parent can re-raise it across the process
+    boundary.
+    """
+    try:
+        proc = _resolve_ref(spec["proc"], spec.get("proc_args", ()))
+        schedule = _resolve_ref(
+            spec["schedule"], spec.get("schedule_args", ()), spec.get("schedule_kwargs")
+        )
+        runner = ScheduleRunner(
+            proc,
+            schedule,
+            spec.get("size_env", {}),
+            repeats=spec.get("repeats", 3),
+            seed=spec.get("seed", 0),
+            swept=spec.get("swept"),
+        )
+        return runner.evaluate(spec.get("config"), repeats=spec.get("repeats")).to_dict()
+    except KnobError as err:
+        return {"config": spec.get("config", {}), "status": "knob-error", "error": str(err)}
+
+
+def evaluate_parallel(
+    base_spec: dict,
+    configs: Sequence[Config],
+    *,
+    max_workers: Optional[int] = None,
+) -> List[Measurement]:
+    """Evaluate ``configs`` in parallel worker processes.
+
+    Each candidate gets ``base_spec`` with its own ``config`` and runs through
+    :func:`evaluate_spec` in a :class:`concurrent.futures.ProcessPoolExecutor`
+    — full process isolation, one candidate per core.  Results come back in
+    input order.  A worker reporting ``"knob-error"`` re-raises
+    :class:`KnobError` here, preserving the don't-swallow contract.
+
+    A candidate that kills its worker outright (segfault, OOM-kill,
+    ``os._exit``) breaks the pool for every in-flight future; the survivors
+    are retried one at a time in fresh single-worker pools, and any candidate
+    that breaks its own private pool is scored ``"error"`` — a crashing
+    candidate costs its own measurement, never the sweep.
+    """
+    from concurrent.futures import ProcessPoolExecutor
+    from concurrent.futures.process import BrokenProcessPool
+
+    specs = [dict(base_spec, config=dict(c)) for c in configs]
+    raw: List[Optional[dict]] = [None] * len(specs)
+    unfinished: List[int] = []
+    with ProcessPoolExecutor(max_workers=max_workers) as pool:
+        futures = [(i, pool.submit(evaluate_spec, s)) for i, s in enumerate(specs)]
+        for i, fut in futures:
+            try:
+                raw[i] = fut.result()
+            except BrokenProcessPool:
+                unfinished.append(i)  # the crasher or its collateral; retry below
+    for i in unfinished:
+        try:
+            with ProcessPoolExecutor(max_workers=1) as pool:
+                raw[i] = pool.submit(evaluate_spec, specs[i]).result()
+        except BrokenProcessPool:
+            raw[i] = {
+                "config": dict(configs[i]),
+                "status": "error",
+                "error": "candidate crashed its worker process",
+            }
+    out: List[Measurement] = []
+    for r in raw:
+        if r.get("status") == "knob-error":
+            raise KnobError(r.get("error") or "knob error in worker process")
+        out.append(Measurement.from_dict(r))
+    return out

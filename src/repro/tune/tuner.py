@@ -1,0 +1,309 @@
+"""The knob-space autotuner: search a :class:`Space` over a first-class
+:class:`~repro.api.schedule.Schedule` and keep the fastest configuration.
+
+This is where schedules-as-values pay off beyond replay: because a schedule
+is one value with named knobs, the tuner can enumerate knob environments,
+apply them through the shared replay cache (prefix applications and
+re-evaluations hit), compile each candidate on the NumPy engine, time it, and
+persist a leaderboard so the next tune of the same ``(procedure, schedule,
+machine)`` warm-starts from the best known config::
+
+    from repro.tune import Space, Tuner
+    from repro.halide import make_blur, blur_schedule, blur_space
+
+    result = Tuner(make_blur(), blur_schedule(), blur_space(),
+                   size_env={"H": 64, "W": 512}).tune(search="grid")
+    result.best_config          # e.g. {'tile_y': 32, 'tile_x': 256, 'vec': 16}
+    fast = blur_schedule().apply(make_blur(), result.best_config)
+
+Search strategies: ``"grid"`` (exhaustive), ``"random"`` (n distinct points),
+``"halving"`` (successive halving — cheap low-repeat screening, survivors
+re-timed at growing budgets).  The hand-picked defaults of the schedule are
+always injected as a candidate, so the tuned result can never lose to them on
+the same measurement protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..api.cache import ReplayCache
+from ..api.knobs import KnobError
+from ..api.schedule import Schedule
+from ..core.procedure import Procedure
+from .results import Leaderboard, board_key, machine_id
+from .runner import Measurement, ScheduleRunner
+from .space import Config, GridSampler, RandomSampler, Space, TuneError, successive_halving
+
+__all__ = ["TuneResult", "Tuner", "autotune"]
+
+
+class TuneResult:
+    """What a tune run found.
+
+    ``best_config`` is the *full* knob environment (defaults merged with the
+    winning sweep point); ``default`` is the measurement of the schedule's
+    hand-picked defaults, so ``result.speedup_vs_default()`` reports what the
+    search bought.  ``measurements`` covers every evaluated candidate and
+    ``cache_stats`` the replay-cache traffic of the sweep.
+    """
+
+    def __init__(
+        self,
+        best: Measurement,
+        default: Measurement,
+        measurements: List[Measurement],
+        *,
+        key: str,
+        machine: str,
+        rounds: Optional[List[dict]] = None,
+        cache_stats: Optional[dict] = None,
+    ):
+        self.best = best
+        self.default = default
+        self.measurements = measurements
+        self.key = key
+        self.machine = machine
+        self.rounds = rounds or []
+        self.cache_stats = cache_stats or {}
+
+    @property
+    def best_config(self) -> Config:
+        return dict(self.best.config)
+
+    @property
+    def best_time_s(self) -> Optional[float]:
+        return self.best.time_s
+
+    def speedup_vs_default(self) -> float:
+        """How much faster the tuned config is than the hand-picked defaults
+        (>= 1.0 whenever both measured, because the defaults are a candidate)."""
+        if not (self.best.ok and self.default.ok):
+            return float("nan")
+        return self.default.time_s / self.best.time_s
+
+    def to_dict(self) -> dict:
+        return {
+            "key": self.key,
+            "machine": self.machine,
+            "best": self.best.to_dict(),
+            "default": self.default.to_dict(),
+            "speedup_vs_default": self.speedup_vs_default(),
+            "evaluated": len(self.measurements),
+            "errors": sum(1 for m in self.measurements if not m.ok),
+            "cache": self.cache_stats,
+        }
+
+    def __repr__(self) -> str:
+        t = f"{self.best.time_s * 1e3:.3f} ms" if self.best.ok else "?"
+        return f"<TuneResult best={self.best_config} ({t}), {len(self.measurements)} evaluated>"
+
+
+class Tuner:
+    """Drives a search over one ``(procedure, schedule, space)`` triple.
+
+    The space's param names must be knobs the schedule declares (checked up
+    front, with the schedule's own did-you-mean diagnostics); values outside
+    a knob's declared ``choices`` surface as :class:`KnobError` mid-sweep
+    rather than scoring as failures.
+    """
+
+    def __init__(
+        self,
+        proc: Procedure,
+        schedule: Schedule,
+        space: Space,
+        size_env: Dict[str, int],
+        *,
+        repeats: int = 3,
+        seed: int = 0,
+        cache: Optional[ReplayCache] = None,
+        leaderboard: Optional[Leaderboard] = None,
+    ):
+        if not isinstance(space, Space):
+            raise TuneError(f"Tuner: expected a Space, got {type(space).__name__}")
+        declared = {k.name for k in schedule.knobs()}
+        unknown = sorted(set(space.names()) - declared)
+        if unknown:
+            raise KnobError(
+                f"search space names knob(s) {unknown} the schedule does not declare; "
+                f"it declares {sorted(declared) if declared else 'no knobs'}"
+            )
+        self.proc = proc
+        self.schedule = schedule
+        self.space = space
+        self.leaderboard = leaderboard if leaderboard is not None else Leaderboard()
+        self.machine = machine_id()
+        self.key = board_key(proc, schedule, self.machine)
+        self.runner = ScheduleRunner(
+            proc,
+            schedule,
+            size_env,
+            repeats=repeats,
+            seed=seed,
+            cache=cache,
+            swept=space.names(),
+        )
+
+    # -- candidate generation ----------------------------------------------------
+
+    def _full(self, config: Config) -> Config:
+        """Merge a sweep point over the schedule's knob defaults, so every
+        candidate (and the leaderboard) carries the complete environment."""
+        full = dict(self.schedule.knob_defaults())
+        full.update(config)
+        return full
+
+    def candidates(
+        self, search: str = "grid", n: Optional[int] = None, seed: Optional[int] = None
+    ) -> List[Config]:
+        """The deduplicated candidate list: the schedule's defaults, the
+        persisted leaderboard champion (warm start), then the sampled space."""
+        if search in ("grid", "halving"):
+            sampled = list(GridSampler().sample(self.space))
+        elif search == "random":
+            sampled = list(
+                RandomSampler(n or max(1, self.space.size() // 2), seed=seed or 0).sample(
+                    self.space
+                )
+            )
+        else:
+            raise TuneError(f"unknown search strategy {search!r}; try grid, random, or halving")
+        pool = [self._full({})]  # the hand-picked defaults always compete
+        warm = self.leaderboard.best(self.key)
+        if warm is not None and warm.get("config"):
+            pool.append(self._full(warm["config"]))
+        pool.extend(self._full(c) for c in sampled)
+        seen, out = set(), []
+        for c in pool:
+            k = tuple(sorted((str(k), repr(v)) for k, v in c.items()))
+            if k not in seen:
+                seen.add(k)
+                out.append(c)
+        return out
+
+    # -- the search --------------------------------------------------------------
+
+    def tune(
+        self,
+        search: str = "grid",
+        *,
+        n: Optional[int] = None,
+        seed: Optional[int] = None,
+        parallel: bool = False,
+        max_workers: Optional[int] = None,
+        min_budget: int = 1,
+        max_budget: Optional[int] = None,
+        spec: Optional[dict] = None,
+    ) -> TuneResult:
+        """Run the search and return a :class:`TuneResult`.
+
+        ``parallel=True`` evaluates candidates in isolated worker processes;
+        it requires ``spec`` — the JSON-able candidate description
+        :func:`repro.tune.runner.evaluate_spec` understands — because worker
+        processes rebuild the procedure and schedule from importable
+        references rather than pickling live IR.
+        """
+        configs = self.candidates(search, n=n, seed=seed)
+        rounds: List[dict] = []
+        if search == "halving" and len(configs) > 1:
+            max_b = max_budget if max_budget is not None else max(self.runner.repeats, min_budget)
+            measurements = []
+
+            def eval_round(cfgs: List[Config], budget: int) -> List[float]:
+                ms = self._evaluate(cfgs, repeats=budget, parallel=parallel,
+                                    max_workers=max_workers, spec=spec)
+                measurements.extend(ms)
+                self.leaderboard.record_many(self.key, ms)
+                return [m.score for m in ms]
+
+            _, rounds = successive_halving(
+                configs, eval_round, min_budget=min_budget, max_budget=max_b
+            )
+        else:
+            measurements = self._evaluate(
+                configs, repeats=None, parallel=parallel, max_workers=max_workers, spec=spec
+            )
+            self.leaderboard.record_many(self.key, measurements)
+        self.leaderboard.save()
+
+        ok = [m for m in measurements if m.ok]
+        if not ok:
+            raise TuneError(
+                "tuning produced no successful measurement; every candidate failed "
+                f"({measurements[0].error if measurements else 'empty space'})"
+            )
+        best = min(ok, key=lambda m: m.time_s)
+        default_cfg = self._full({})
+        # the default may have been measured several times at different
+        # budgets (halving rounds); report its own best so `best` and
+        # `default` come from the same measurement pool
+        default_runs = [m for m in ok if m.config == default_cfg]
+        if default_runs:
+            default = min(default_runs, key=lambda m: m.time_s)
+        else:
+            default = self.runner.evaluate(default_cfg)
+            self.leaderboard.record(self.key, default)
+            self.leaderboard.save()
+            if default.ok and default.time_s < best.time_s:
+                best = default
+        return TuneResult(
+            best,
+            default,
+            measurements,
+            key=self.key,
+            machine=self.machine,
+            rounds=rounds,
+            cache_stats=self.runner.cache.stats(),
+        )
+
+    def _evaluate(
+        self,
+        configs: Sequence[Config],
+        *,
+        repeats: Optional[int],
+        parallel: bool,
+        max_workers: Optional[int],
+        spec: Optional[dict],
+    ) -> List[Measurement]:
+        if not parallel:
+            return self.runner.evaluate_many(configs, repeats=repeats)
+        if spec is None:
+            raise TuneError(
+                "parallel tuning needs a spec (importable proc/schedule references); "
+                "see repro.tune.runner.evaluate_spec"
+            )
+        from .runner import evaluate_parallel
+
+        full_spec = dict(spec)
+        full_spec.setdefault("size_env", self.runner.size_env)
+        full_spec.setdefault("seed", self.runner.seed)
+        full_spec.setdefault("swept", self.space.names())
+        if repeats is not None:
+            full_spec["repeats"] = repeats
+        else:
+            full_spec.setdefault("repeats", self.runner.repeats)
+        return evaluate_parallel(full_spec, configs, max_workers=max_workers)
+
+
+def autotune(
+    proc: Procedure,
+    schedule: Schedule,
+    space: Space,
+    size_env: Dict[str, int],
+    *,
+    search: str = "grid",
+    leaderboard: Optional[Leaderboard] = None,
+    **kwargs,
+) -> TuneResult:
+    """One-call tuning: build a :class:`Tuner` and run it.
+
+    Keyword arguments split between the two: ``repeats``/``seed``/``cache``
+    configure measurement, everything else is forwarded to :meth:`Tuner.tune`.
+    """
+    init_keys = {"repeats", "seed", "cache"}
+    init = {k: v for k, v in kwargs.items() if k in init_keys}
+    rest = {k: v for k, v in kwargs.items() if k not in init_keys}
+    return Tuner(proc, schedule, space, size_env, leaderboard=leaderboard, **init).tune(
+        search, **rest
+    )

@@ -1,0 +1,208 @@
+"""Candidate evaluation and the persisted leaderboard (repro.tune)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import KnobError, ReplayCache, S, knob, seq
+from repro.tune import (
+    Leaderboard,
+    Measurement,
+    ScheduleRunner,
+    TuneError,
+    board_key,
+    evaluate_parallel,
+    evaluate_spec,
+    machine_id,
+    split_prefix,
+)
+
+
+def _knobbed_seq():
+    """divide twice: a knob-free prefix step and a knobbed suffix step."""
+    return seq(
+        S.divide_loop("i", 16, ["io", "ii"]),
+        S.divide_loop("ii", knob("w", 8, choices=(2, 4, 8)), ["iio", "iii"]),
+    )
+
+
+def test_split_prefix_cuts_before_the_first_swept_step():
+    sched = _knobbed_seq()
+    prefix, suffix = split_prefix(sched, ["w"])
+    assert prefix is not None and len(prefix.steps) == 1
+    assert len(suffix.steps) == 1
+    # nothing to split when the sweep hits the first step or no knob is swept
+    assert split_prefix(sched, [])[0] is None
+    assert split_prefix(sched.steps[1], ["w"])[0] is None
+    first_knobbed = seq(S.divide_loop("i", knob("w", 8), ["io", "ii"]), S.simplify())
+    assert split_prefix(first_knobbed, ["w"])[0] is None
+
+
+def test_runner_times_and_shares_the_prefix(axpy):
+    cache = ReplayCache()
+    runner = ScheduleRunner(
+        axpy, _knobbed_seq(), {"n": 256}, repeats=1, cache=cache, swept=["w"]
+    )
+    ms = runner.evaluate_many([{"w": 2}, {"w": 4}, {"w": 8}])
+    assert all(m.ok and m.time_s > 0 for m in ms)
+    assert all(m.compile_stats is not None for m in ms)
+    # the knob-free prefix ran once and hit for the two later candidates
+    assert cache.hits >= 2
+
+
+def test_runner_prunes_scheduling_failures_but_raises_knob_errors(axpy):
+    # unroll_loop needs a constant-bound loop; 'i' runs to symbolic n
+    runner = ScheduleRunner(axpy, S.unroll_loop("i"), {"n": 64}, repeats=1)
+    m = runner.evaluate({})
+    assert not m.ok and m.status == "error" and m.error
+    assert m.score == float("inf")
+
+    knobbed = ScheduleRunner(axpy, _knobbed_seq(), {"n": 256}, repeats=1)
+    with pytest.raises(KnobError):
+        knobbed.evaluate({"w": 3})  # 3 is outside the knob's declared choices
+
+
+def test_runner_prunes_runtime_failures_too():
+    # scheduling succeeds, but the kernel's precondition fails at run time:
+    # the candidate must score as an error, not abort the tune
+    from repro.api import S
+    from repro.frontend.decorators import proc_from_source
+
+    p = proc_from_source(
+        "def g(n: size, x: f32[n] @ DRAM):\n"
+        "    assert n % 16 == 0\n"
+        "    for i in seq(0, n):\n"
+        "        x[i] = 1.0\n"
+    )
+    m = ScheduleRunner(p, S.simplify(), {"n": 30}, repeats=1).evaluate({})
+    assert not m.ok and m.status == "error"
+    assert m.score == float("inf")
+
+
+def test_runner_rejects_non_schedule_inputs(axpy):
+    with pytest.raises(TuneError):
+        ScheduleRunner(axpy, object(), {"n": 8})
+    with pytest.raises(TuneError):
+        ScheduleRunner(object(), S.simplify(), {"n": 8})
+
+
+def test_measurement_roundtrip():
+    m = Measurement({"w": 4}, time_s=0.5, repeats=3, compile_stats={"vector_loops": 1})
+    assert Measurement.from_dict(m.to_dict()).to_dict() == m.to_dict()
+    bad = Measurement({"w": 2}, status="error", error="nope")
+    assert not bad.ok and bad.score == float("inf")
+
+
+def test_leaderboard_records_minima_and_persists(tmp_path, axpy):
+    path = tmp_path / "board.json"
+    lb = Leaderboard(str(path))
+    key = board_key(axpy, _knobbed_seq())
+    lb.record(key, Measurement({"w": 4}, time_s=2.0, repeats=1))
+    lb.record(key, Measurement({"w": 4}, time_s=1.0, repeats=1))  # improves
+    lb.record(key, Measurement({"w": 4}, time_s=3.0, repeats=1))  # ignored
+    lb.record(key, Measurement({"w": 8}, status="error", error="x"))
+    lb.save()
+
+    fresh = Leaderboard(str(path))
+    assert fresh.best(key)["config"] == {"w": 4}
+    assert fresh.best(key)["time_s"] == 1.0
+    assert fresh.stats(key) == {
+        "configs": 2,
+        "ok": 1,
+        "errors": 1,
+        "best": fresh.best(key),
+    }
+    # the machine id is baked into the key
+    assert key.endswith(machine_id())
+
+
+def test_leaderboard_refuses_corrupt_and_future_files(tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json")
+    with pytest.raises(TuneError):
+        Leaderboard(str(bad))
+    future = tmp_path / "future.json"
+    future.write_text('{"version": 99, "boards": {}}')
+    with pytest.raises(TuneError):
+        Leaderboard(str(future))
+
+
+def test_evaluate_spec_builds_from_importable_references():
+    out = evaluate_spec(
+        {
+            "proc": "repro.blas:LEVEL1_KERNELS",
+            "proc_args": ["saxpy"],
+            "schedule": "repro.blas:level1_schedule",
+            "config": {"interleave": 2},
+            "size_env": {"n": 1024},
+            "repeats": 1,
+        }
+    )
+    assert out["status"] == "ok" and out["time_s"] > 0
+
+    knob_err = evaluate_spec(
+        {
+            "proc": "repro.blas:LEVEL1_KERNELS",
+            "proc_args": ["saxpy"],
+            "schedule": "repro.blas:level1_schedule",
+            "config": {"no_such_knob": 1},
+            "size_env": {"n": 64},
+            "repeats": 1,
+        }
+    )
+    assert knob_err["status"] == "knob-error"
+
+
+def test_board_key_is_stable_across_processes(axpy):
+    # the persisted leaderboard's whole point: the key must not depend on
+    # per-process hash randomization
+    import os
+    import subprocess
+    import sys
+    from pathlib import Path
+
+    repo = Path(__file__).resolve().parents[2]
+    key = board_key(axpy, _knobbed_seq(), "M")
+    code = (
+        "import sys; sys.path.insert(0, 'tests')\n"
+        "from conftest import _axpy\n"
+        "from repro.api import S, knob, seq\n"
+        "from repro.tune import board_key\n"
+        "s = seq(S.divide_loop('i', 16, ['io', 'ii']),\n"
+        "        S.divide_loop('ii', knob('w', 8, choices=(2, 4, 8)), ['iio', 'iii']))\n"
+        "print(board_key(_axpy, s, 'M'))\n"
+    )
+    for seed in ("0", "12345"):
+        env = dict(os.environ, PYTHONHASHSEED=seed, PYTHONPATH=str(repo / "src"))
+        out = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True, text=True, check=True, cwd=str(repo), env=env,
+        )
+        assert out.stdout.strip() == key
+
+
+def test_evaluate_parallel_survives_a_worker_crash():
+    # a candidate that kills its worker outright (os._exit) must cost only
+    # its own measurement, not the sweep
+    ms = evaluate_parallel(
+        {"proc": "os:_exit", "proc_args": [3], "schedule": "repro.blas:level1_schedule"},
+        [{"interleave": 1}, {"interleave": 2}],
+        max_workers=2,
+    )
+    assert len(ms) == 2
+    assert all(m.status == "error" and "crashed" in m.error for m in ms)
+
+
+def test_evaluate_parallel_isolates_candidates_and_reraises_knob_errors():
+    base = {
+        "proc": "repro.blas:LEVEL1_KERNELS",
+        "proc_args": ["saxpy"],
+        "schedule": "repro.blas:level1_schedule",
+        "size_env": {"n": 1024},
+        "repeats": 1,
+    }
+    ms = evaluate_parallel(base, [{"interleave": 1}, {"interleave": 2}], max_workers=2)
+    assert [m.config for m in ms] == [{"interleave": 1}, {"interleave": 2}]
+    assert all(m.ok for m in ms)
+    with pytest.raises(KnobError):
+        evaluate_parallel(base, [{"bogus": 1}], max_workers=1)

@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Check that intra-repo markdown links resolve.
+
+Scans every ``*.md`` file in the repository (root and subdirectories,
+excluding hidden/build directories), extracts inline links and images
+(``[text](target)``), and verifies that
+
+* relative file targets exist (resolved from the linking file's directory),
+* ``#anchor`` fragments — same-file or cross-file — match a heading in the
+  target document (GitHub-style slugs, with duplicate-heading ``-n``
+  suffixes),
+* nothing links outside the repository.
+
+External schemes (``http(s)://``, ``mailto:``) are skipped.  Exits non-zero
+listing every broken link.  Run from anywhere::
+
+    python tools/check_doc_links.py
+"""
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SKIP_DIRS = {".git", "__pycache__", ".pytest_cache", "node_modules", ".venv"}
+EXTERNAL = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")  # http:, https:, mailto:, ...
+# inline links/images; deliberately simple — no reference-style links in-repo
+LINK = re.compile(r"!?\[[^\]\n]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING = re.compile(r"^#{1,6}\s+(.*?)\s*#*\s*$")
+CODE_FENCE = re.compile(r"^(```|~~~)")
+
+
+def md_files():
+    for path in sorted(REPO.rglob("*.md")):
+        if not any(part in SKIP_DIRS or part.startswith(".") for part in path.parts[len(REPO.parts):-1]):
+            yield path
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug: strip markup-ish punctuation, lowercase,
+    spaces to hyphens."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading)          # unwrap inline code
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # unwrap links
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text, flags=re.UNICODE)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path: Path) -> set:
+    slugs: dict = {}
+    out = set()
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if CODE_FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        m = HEADING.match(line)
+        if m:
+            slug = github_slug(m.group(1))
+            n = slugs.get(slug, 0)
+            slugs[slug] = n + 1
+            out.add(slug if n == 0 else f"{slug}-{n}")
+    return out
+
+
+def links_of(path: Path):
+    in_fence = False
+    for lineno, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+        if CODE_FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for m in LINK.finditer(line):
+            yield lineno, m.group(1)
+
+
+def main() -> int:
+    failures = []
+    files = list(md_files())
+    checked = 0
+    for md in files:
+        for lineno, target in links_of(md):
+            if EXTERNAL.match(target):
+                continue
+            checked += 1
+            where = f"{md.relative_to(REPO)}:{lineno}"
+            raw, _, fragment = target.partition("#")
+            dest = md if not raw else (md.parent / raw).resolve()
+            if raw:
+                if not dest.exists():
+                    failures.append(f"{where}: broken path {target!r}")
+                    continue
+                try:
+                    dest.relative_to(REPO)
+                except ValueError:
+                    failures.append(f"{where}: {target!r} escapes the repository")
+                    continue
+            if fragment:
+                if dest.is_dir() or dest.suffix.lower() != ".md":
+                    failures.append(f"{where}: anchor on non-markdown target {target!r}")
+                elif fragment.lower() not in anchors_of(dest):
+                    failures.append(f"{where}: no heading for anchor {target!r}")
+    print(f"checked {checked} intra-repo links across {len(files)} markdown files")
+    if failures:
+        print("BROKEN LINKS:")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print("all links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
