@@ -1,203 +1,772 @@
 """C code generation.
 
-Scheduled object code lowers to portable C99: loops become ``for`` loops,
-buffers become arrays (stack or static, per their memory space), and calls to
-``@instr`` procedures emit the instruction's C template verbatim with the
-argument data-pointers substituted — Exo's exocompilation model.
+Scheduled object code lowers to C99 that actually compiles and runs: loops
+become ``for`` loops, buffers become stack arrays / ``calloc`` blocks / SIMD
+register variables (per their memory space), and calls to ``@instr``
+procedures whose templates are marked ``intrinsic`` emit the instruction's C
+template verbatim with argument lvalues substituted — Exo's exocompilation
+model.  Instructions *without* a real intrinsic mapping (and calls to
+ordinary sub-procedures) are inlined at emission time and lowered as scalar
+C, which is always semantically correct.
 
-The generated C is not compiled in this offline environment (the interpreter
-provides reference semantics and the cost model provides timing); it exists so
-that downstream users can take the kernels to a real toolchain and so that the
-"generated C" line counts of Figure 9a can be reproduced.
+Calling convention (shared with :mod:`repro.backend.native`, which compiles
+the result and calls it through ``ctypes``):
+
+* tensors pass as ``T *name`` plus one ``int64_t name_s<d>`` *element* stride
+  per dimension (so NumPy views work unchanged and ``stride(A, d)`` lowers to
+  a parameter read);
+* ``size``/``index`` arguments pass as ``int64_t``, ``bool`` as ``bool``;
+* numeric scalars pass at the precision the reference interpreter computes
+  with — ``double`` for float types, ``int32_t`` for integer types.
+
+Element types follow the *execution* dtypes of :data:`NP_DTYPES` (``f32`` →
+``float``, ``f64`` → ``double``, every integer type → ``int32_t``), not the
+declared storage types, so the three engines agree bit-for-bit where FP
+allows.  Anything that cannot be lowered faithfully raises
+:class:`CodegenError` (with the offending statement's printed source) before
+a single broken line is emitted.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set
+import math
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-from ..errors import BackendError
+import numpy as np
+
+from ..errors import BackendError, CodegenError
 from ..ir import nodes as N
+from ..ir.build import alpha_rename_stmts
 from ..ir.externs import extern_by_name
 from ..ir.memories import MemoryKind
-from ..ir.printing import expr_str
-from ..ir.types import TensorType
-from .lowering import flatten_index, row_major_strides
+from ..ir.printing import expr_str, proc_str, stmt_lines
+from ..ir.syms import Sym
+from ..ir.types import ScalarType, TensorType
+from .lowering import InlineError, np_dtype_for, row_major_strides, substitute_call_body
 
-__all__ = ["compile_to_c", "proc_to_c"]
-
-
-def _c_expr(e: N.Expr, strides: Dict, int_ctx: bool = False) -> str:
-    if isinstance(e, N.Const):
-        if isinstance(e.val, bool):
-            return "1" if e.val else "0"
-        if isinstance(e.val, float):
-            return f"{e.val}f"
-        return str(e.val)
-    if isinstance(e, N.Read):
-        if not e.idx:
-            return str(e.name)
-        idx = _flatten_index(e.name, e.idx, strides)
-        return f"{e.name}[{idx}]"
-    if isinstance(e, N.BinOp):
-        op = {"and": "&&", "or": "||"}.get(e.op, e.op)
-        return f"({_c_expr(e.lhs, strides)} {op} {_c_expr(e.rhs, strides)})"
-    if isinstance(e, N.USub):
-        return f"(-{_c_expr(e.arg, strides)})"
-    if isinstance(e, N.Extern):
-        d = extern_by_name(e.fname)
-        return d.c_template.format(*[_c_expr(a, strides) for a in e.args])
-    if isinstance(e, N.StrideExpr):
-        return f"{e.name}_stride_{e.dim}"
-    if isinstance(e, N.ReadConfig):
-        return f"ctxt.{e.config.name()}.{e.field_name}"
-    if isinstance(e, N.WindowExpr):
-        # pointer to the first element of the window
-        firsts = [w.lo if isinstance(w, N.Interval) else w.pt for w in e.idx]
-        idx = _flatten_index(e.name, firsts, strides)
-        return f"&{e.name}[{idx}]"
-    raise BackendError(f"cannot lower expression {type(e).__name__}")
+__all__ = [
+    "CODEGEN_VERSION",
+    "PREAMBLE",
+    "CodegenError",
+    "CodegenOptions",
+    "NativeUnit",
+    "compile_to_c",
+    "emit_unit",
+    "proc_to_c",
+]
 
 
-def _flatten_index(name, idx: List[N.Expr], strides: Dict) -> str:
-    # shared flattening logic (backend.lowering), rendered with the C printer
-    return flatten_index(name, idx, strides, lambda e: _c_expr(e, strides))
+# Bumping this invalidates every entry of the persistent compiled-artifact
+# cache (repro.backend.native) — do so whenever emitted C can change for an
+# unchanged procedure.
+CODEGEN_VERSION = 1
 
 
-def _row_major_strides(shape: List[N.Expr]) -> List[str]:
-    return row_major_strides(shape, expr_str)
+@dataclass(frozen=True)
+class CodegenOptions:
+    """Options that change the emitted C / the compile flags.
+
+    Part of the artifact-cache key (see :meth:`key`): changing any field
+    makes previously cached shared objects stale.
+    """
+
+    intrinsics: bool = True  # emit @instr templates (False: inline every body)
+    opt_level: str = "-O3"
+    march: str = "native"
+    # explicit intrinsic FMAs stay fused; *contraction* of scalar code is
+    # disabled so the scalar fallback rounds exactly like the interpreter
+    fp_contract: str = "off"
+
+    def key(self) -> str:
+        return (
+            f"intrinsics={int(self.intrinsics)};opt={self.opt_level};"
+            f"march={self.march};fp-contract={self.fp_contract}"
+        )
+
+    def cflags(self) -> List[str]:
+        return [self.opt_level, f"-march={self.march}", f"-ffp-contract={self.fp_contract}"]
+
+
+@dataclass
+class NativeUnit:
+    """One emitted translation unit plus the ctypes-facing argument spec.
+
+    ``argspec`` entries are
+    ``("tensor", dtype_name, rank, arg_name)`` or
+    ``("i64" | "i32" | "f64" | "bool", arg_name)``.
+    """
+
+    name: str
+    source: str
+    argspec: Tuple[tuple, ...]
+
+
+# The execution C type backing a scalar/tensor element (matches NP_DTYPES).
+def _exec_ctype(typ) -> str:
+    return {"float32": "float", "float64": "double", "int32": "int32_t"}[np_dtype_for(typ).name]
+
+
+_VREG_CTYPE = {
+    ("float", 256): "__m256",
+    ("double", 256): "__m256d",
+    ("float", 512): "__m512",
+    ("double", 512): "__m512d",
+}
+
+_C_KEYWORDS = {
+    "auto", "break", "case", "char", "const", "continue", "default", "do",
+    "double", "else", "enum", "extern", "float", "for", "goto", "if",
+    "inline", "int", "long", "register", "restrict", "return", "short",
+    "signed", "sizeof", "static", "struct", "switch", "typedef", "union",
+    "unsigned", "void", "volatile", "while", "bool", "true", "false",
+    "free", "calloc", "memset",
+}
+
+
+class _Names:
+    """Per-unit C identifier table.  Distinct :class:`Sym`\\ s print with the
+    same surface name after scheduling (e.g. repeated ``var1`` allocations
+    left by fission), so every bound symbol gets a unique C name here."""
+
+    def __init__(self):
+        self.by_sym: Dict[Sym, str] = {}
+        self.used: Set[str] = set(_C_KEYWORDS)
+
+    def reserve(self, name: str) -> None:
+        self.used.add(name)
+
+    def of(self, sym: Sym) -> str:
+        got = self.by_sym.get(sym)
+        if got is not None:
+            return got
+        base = re.sub(r"[^A-Za-z0-9_]", "_", sym.name or "v")
+        if not re.match(r"[A-Za-z_]", base):
+            base = "_" + base
+        cand, i = base, 0
+        while cand in self.used:
+            i += 1
+            cand = f"{base}_{i}"
+        self.used.add(cand)
+        self.by_sym[sym] = cand
+        return cand
+
+
+@dataclass
+class _Buf:
+    """What the generator knows about one bound symbol."""
+
+    kind: str  # "tensor" | "scalar" | "vreg"
+    ctype: str  # element C type
+    strides: Optional[List[str]] = None  # rendered element strides (tensors)
+    lanes: int = 0  # vreg: lanes per register
+    outer: Optional[List[int]] = None  # vreg: constant outer dims (register array)
+    vtype: str = ""  # vreg: __m256 / __m512d / ...
+
+
+_MAX_STACK_ELEMS = 16384  # larger constant-shaped allocations go on the heap
+_MAX_INLINE_DEPTH = 32
+
+
+def _const_int(e) -> Optional[int]:
+    if isinstance(e, N.Const) and isinstance(e.val, (int, np.integer)) and not isinstance(e.val, bool):
+        return int(e.val)
+    return None
 
 
 class _CGen:
-    def __init__(self):
+    def __init__(self, root: N.ProcDef, options: CodegenOptions):
+        self.root = root
+        self.options = options
         self.lines: List[str] = []
         self.indent = 0
-        self.instr_globals: Set[str] = set()
+        self.names = _Names()
+        self.bufs: Dict[Sym, _Buf] = {}
+        self.int_syms: Set[Sym] = set()  # iterators and index/size/bool args
+        self.free_stack: List[List[str]] = []
+        self.globals: List[str] = []
+        self.cur_stmt: Optional[N.Stmt] = None
+        self.inline_depth = 0
+
+    # -- error reporting -----------------------------------------------------
+
+    def err(self, message: str, node=None) -> CodegenError:
+        loc = None
+        node = node if node is not None else self.cur_stmt
+        try:
+            if isinstance(node, N.Stmt):
+                loc = stmt_lines([node])[0].strip()
+            elif isinstance(node, N.Expr):
+                loc = expr_str(node)
+        except Exception:
+            loc = None
+        return CodegenError(message, proc_name=self.root.name, location=loc)
+
+    # -- emission ------------------------------------------------------------
 
     def emit(self, line: str) -> None:
         self.lines.append("    " * self.indent + line)
 
-    def gen_stmts(self, stmts, strides) -> None:
-        for s in stmts:
-            self.gen_stmt(s, strides)
+    # -- static int-ness (mirrors the interpreter's runtime ``both_int``) ----
 
-    def gen_stmt(self, s: N.Stmt, strides) -> None:
-        if isinstance(s, N.Assign):
-            lhs = f"{s.name}[{_flatten_index(s.name, s.idx, strides)}]" if s.idx else str(s.name)
-            self.emit(f"{lhs} = {_c_expr(s.rhs, strides)};")
-        elif isinstance(s, N.Reduce):
-            lhs = f"{s.name}[{_flatten_index(s.name, s.idx, strides)}]" if s.idx else str(s.name)
-            self.emit(f"{lhs} += {_c_expr(s.rhs, strides)};")
+    def is_int(self, e: N.Expr) -> bool:
+        if isinstance(e, N.Const):
+            return isinstance(e.val, (int, np.integer)) and not isinstance(e.val, bool)
+        if isinstance(e, N.Read):
+            if e.name in self.int_syms:
+                return True
+            buf = self.bufs.get(e.name)
+            return buf is not None and buf.ctype == "int32_t"
+        if isinstance(e, N.BinOp):
+            if e.op in ("<", "<=", ">", ">=", "==", "!=", "and", "or"):
+                return True
+            return self.is_int(e.lhs) and self.is_int(e.rhs)
+        if isinstance(e, N.USub):
+            return self.is_int(e.arg)
+        if isinstance(e, N.StrideExpr):
+            return True
+        return False
+
+    # -- expressions ----------------------------------------------------------
+
+    def expr(self, e: N.Expr) -> str:
+        if isinstance(e, N.Const):
+            return self.const_str(e)
+        if isinstance(e, N.Read):
+            return self.read_str(e)
+        if isinstance(e, N.BinOp):
+            return self.binop_str(e)
+        if isinstance(e, N.USub):
+            return f"(-{self.expr(e.arg)})"
+        if isinstance(e, N.Extern):
+            d = extern_by_name(e.fname)
+            if not getattr(d, "c_template", ""):
+                raise self.err(f"extern {e.fname!r} has no C template", e)
+            return d.c_template.format(*[self.expr(a) for a in e.args])
+        if isinstance(e, N.StrideExpr):
+            buf = self.bufs.get(e.name)
+            if buf is None or buf.strides is None or e.dim >= len(buf.strides):
+                raise self.err(f"stride() of non-tensor {e.name}", e)
+            return f"({buf.strides[e.dim]})"
+        if isinstance(e, N.ReadConfig):
+            raise self.err(
+                f"configuration state ({e.config.name()}.{e.field_name}) is not "
+                "supported by the C backend",
+                e,
+            )
+        if isinstance(e, N.WindowExpr):
+            raise self.err("window expression in a value position", e)
+        raise self.err(f"cannot lower expression of type {type(e).__name__}", e)
+
+    def const_str(self, e: N.Const) -> str:
+        v = e.val
+        if isinstance(v, (bool, np.bool_)):
+            return "1" if v else "0"
+        if isinstance(v, (int, np.integer)):
+            return str(int(v))
+        f = float(v)
+        if math.isnan(f):
+            return "NAN"
+        if math.isinf(f):
+            return "INFINITY" if f > 0 else "(-INFINITY)"
+        return repr(f)  # a C double literal; scalar FP math runs at f64
+
+    def read_str(self, e: N.Read) -> str:
+        buf = self.bufs.get(e.name)
+        if buf is not None and buf.kind == "vreg":
+            if not e.idx:
+                raise self.err("whole vector register read in a value position", e)
+            return self.vreg_elem(e.name, list(e.idx))
+        c = self.names.of(e.name)
+        if not e.idx:
+            return c
+        if buf is None or buf.kind != "tensor":
+            raise self.err(f"indexed read of non-tensor {e.name}", e)
+        return f"{c}[{self.flat(e.name, list(e.idx))}]"
+
+    def binop_str(self, e: N.BinOp) -> str:
+        if e.op in ("/", "%") and self.is_int(e.lhs) and self.is_int(e.rhs):
+            fn = "repro_fdiv" if e.op == "/" else "repro_fmod"
+            return f"{fn}({self.expr(e.lhs)}, {self.expr(e.rhs)})"
+        if e.op == "%":
+            raise self.err("floating-point % has Python semantics the C backend does not model", e)
+        op = {"and": "&&", "or": "||"}.get(e.op, e.op)
+        return f"({self.expr(e.lhs)} {op} {self.expr(e.rhs)})"
+
+    # -- buffers ---------------------------------------------------------------
+
+    def flat(self, sym: Sym, idx: Sequence[N.Expr]) -> str:
+        buf = self.bufs[sym]
+        strides = buf.strides or []
+        parts: List[str] = []
+        for d, e in enumerate(idx):
+            es = self.expr(e)
+            s = strides[d] if d < len(strides) else "1"
+            parts.append(es if s == "1" else f"({es}) * ({s})")
+        return " + ".join(parts) if parts else "0"
+
+    def vreg_elem(self, sym: Sym, idx: List[N.Expr]) -> str:
+        buf = self.bufs[sym]
+        c = self.names.of(sym)
+        lane = self.expr(idx[-1])
+        outer = idx[:-1]
+        if buf.outer:
+            if len(outer) != len(buf.outer):
+                raise self.err(f"vector register {sym} accessed with wrong rank")
+            return f"{c}[{self._vreg_outer(buf, outer)}][{lane}]"
+        if outer:
+            raise self.err(f"vector register {sym} accessed with wrong rank")
+        return f"{c}[{lane}]"
+
+    def _vreg_outer(self, buf: _Buf, outer: Sequence[N.Expr]) -> str:
+        parts = []
+        mult = 1
+        for d in range(len(buf.outer) - 1, -1, -1):
+            es = self.expr(outer[d])
+            parts.append(es if mult == 1 else f"({es}) * {mult}")
+            mult *= buf.outer[d]
+        return " + ".join(reversed(parts)) if parts else "0"
+
+    def vreg_ref(self, sym: Sym, outer: Sequence[N.Expr], node=None) -> str:
+        buf = self.bufs[sym]
+        c = self.names.of(sym)
+        if buf.outer:
+            if len(outer) != len(buf.outer):
+                raise self.err(f"vector register {sym} windowed with wrong rank", node)
+            return f"{c}[{self._vreg_outer(buf, outer)}]"
+        if outer:
+            raise self.err(f"vector register {sym} windowed with wrong rank", node)
+        return c
+
+    # -- statements --------------------------------------------------------------
+
+    def gen_block(self, stmts: Sequence[N.Stmt]) -> None:
+        frees: List[str] = []
+        self.free_stack.append(frees)
+        for s in stmts:
+            self.gen_stmt(s)
+        for c in reversed(frees):
+            self.emit(f"free({c});")
+        self.free_stack.pop()
+
+    def gen_stmt(self, s: N.Stmt) -> None:
+        prev = self.cur_stmt
+        self.cur_stmt = s
+        try:
+            self._gen_stmt(s)
+        finally:
+            self.cur_stmt = prev
+
+    def _gen_stmt(self, s: N.Stmt) -> None:
+        if isinstance(s, (N.Assign, N.Reduce)):
+            self.gen_assign(s)
         elif isinstance(s, N.Alloc):
-            if isinstance(s.typ, TensorType):
-                size = " * ".join(f"({expr_str(d)})" for d in s.typ.shape)
-                strides[s.name] = _row_major_strides(s.typ.shape)
-                qual = "static " if s.mem.kind == MemoryKind.STATIC else ""
-                if s.mem.kind == MemoryKind.VECTOR_REG:
-                    self.emit(f"{s.typ.base.ctype()} {s.name}[{size}] __attribute__((aligned(64)));")
-                else:
-                    self.emit(f"{qual}{s.typ.base.ctype()} {s.name}[{size}];")
-            else:
-                self.emit(f"{s.typ.ctype()} {s.name};")
+            self.gen_alloc(s)
         elif isinstance(s, N.For):
-            it, lo, hi = s.iter, _c_expr(s.lo, strides), _c_expr(s.hi, strides)
+            it = self.names.of(s.iter)
+            self.int_syms.add(s.iter)
+            lo, hi = self.expr(s.lo), self.expr(s.hi)
             if s.pragma == "par":
                 self.emit("#pragma omp parallel for")
-            self.emit(f"for (int_fast32_t {it} = {lo}; {it} < {hi}; {it}++) {{")
+            self.emit(f"for (int64_t {it} = {lo}; {it} < {hi}; {it}++) {{")
             self.indent += 1
-            self.gen_stmts(s.body, dict(strides))
+            self.gen_block(s.body)
             self.indent -= 1
             self.emit("}")
         elif isinstance(s, N.If):
-            self.emit(f"if ({_c_expr(s.cond, strides)}) {{")
+            self.emit(f"if ({self.expr(s.cond)}) {{")
             self.indent += 1
-            self.gen_stmts(s.body, dict(strides))
+            self.gen_block(s.body)
             self.indent -= 1
             if s.orelse:
                 self.emit("} else {")
                 self.indent += 1
-                self.gen_stmts(s.orelse, dict(strides))
+                self.gen_block(s.orelse)
                 self.indent -= 1
             self.emit("}")
         elif isinstance(s, N.Pass):
             self.emit(";")
         elif isinstance(s, N.Call):
-            self.gen_call(s, strides)
+            self.gen_call(s)
         elif isinstance(s, N.WindowStmt):
-            self.emit(f"/* window */ {s.typ if hasattr(s, 'typ') else 'float'}* {s.name} = {_c_expr(s.rhs, strides)};")
+            self.gen_window_stmt(s)
         elif isinstance(s, N.WriteConfig):
-            self.emit(f"ctxt.{s.config.name()}.{s.field_name} = {_c_expr(s.rhs, strides)};")
+            raise self.err(
+                f"configuration state ({s.config.name()}.{s.field_name}) is not "
+                "supported by the C backend"
+            )
         else:
-            raise BackendError(f"cannot lower statement {type(s).__name__}")
+            raise self.err(f"cannot lower statement of type {type(s).__name__}")
 
-    def gen_call(self, call: N.Call, strides) -> None:
+    def gen_assign(self, s) -> None:
+        op = "=" if isinstance(s, N.Assign) else "+="
+        rhs = self.expr(s.rhs)
+        buf = self.bufs.get(s.name)
+        if buf is not None and buf.kind == "vreg":
+            if not s.idx:
+                raise self.err("whole vector register written without a lane index")
+            self.emit(f"{self.vreg_elem(s.name, list(s.idx))} {op} {rhs};")
+            return
+        c = self.names.of(s.name)
+        if s.idx:
+            if buf is None or buf.kind != "tensor":
+                raise self.err(f"indexed write to non-tensor {s.name}")
+            self.emit(f"{c}[{self.flat(s.name, list(s.idx))}] {op} {rhs};")
+        else:
+            self.emit(f"{c} {op} {rhs};")
+
+    def gen_alloc(self, s: N.Alloc) -> None:
+        c = self.names.of(s.name)
+        if isinstance(s.typ, ScalarType):
+            ct = _exec_ctype(s.typ)
+            self.bufs[s.name] = _Buf("scalar", ct)
+            self.emit(f"{ct} {c} = 0;")
+            return
+        if not isinstance(s.typ, TensorType):
+            raise self.err(f"cannot allocate a value of type {s.typ!r}")
+        ct = _exec_ctype(s.typ)
+        if s.mem.kind == MemoryKind.VECTOR_REG and self.gen_vreg_alloc(s, c, ct):
+            return
+        consts = [_const_int(d) for d in s.typ.shape]
+        strides = row_major_strides(s.typ.shape, self.expr)
+        self.bufs[s.name] = _Buf("tensor", ct, strides=strides)
+        if all(v is not None for v in consts):
+            total = 1
+            for v in consts:
+                total *= v
+            if total <= _MAX_STACK_ELEMS:
+                # zero-initialised to match the interpreter's np.zeros
+                self.emit(f"{ct} {c}[{total}] __attribute__((aligned(64))) = {{0}};")
+                return
+        size = " * ".join(f"({self.expr(d)})" for d in s.typ.shape)
+        self.emit(f"{ct} *{c} = ({ct} *)calloc((size_t)({size}), sizeof({ct}));")
+        self.free_stack[-1].append(c)
+
+    def gen_vreg_alloc(self, s: N.Alloc, c: str, ct: str) -> bool:
+        """Allocate a vector-register buffer as a real SIMD register variable
+        (or register array).  Returns False when the shape does not map onto
+        exactly one register per innermost row — e.g. a schedule that
+        vectorises 16-wide on a 256-bit machine and only ever touches lanes
+        scalarly — in which case the caller falls back to an ordinary aligned
+        stack array, which is always correct (the unifier only matches
+        ``@instr`` operands against exact register shapes)."""
+        consts = [_const_int(d) for d in s.typ.shape]
+        if any(v is None for v in consts):
+            return False
+        lanes = consts[-1]
+        bits = getattr(s.mem, "lane_width_bits", None) or 0
+        vt = _VREG_CTYPE.get((ct, bits))
+        elem_bits = {"float": 32, "double": 64}.get(ct)
+        if vt is None or elem_bits is None or lanes * elem_bits != bits:
+            return False
+        outer = consts[:-1]
+        self.bufs[s.name] = _Buf("vreg", ct, lanes=lanes, outer=outer, vtype=vt)
+        if outer:
+            n = 1
+            for v in outer:
+                n *= v
+            self.emit(f"{vt} {c}[{n}] = {{{{0}}}};")
+        else:
+            self.emit(f"{vt} {c} = {{0}};")
+        return True
+
+    def gen_window_stmt(self, s: N.WindowStmt) -> None:
+        w = s.rhs
+        base = self.bufs.get(w.name)
+        if base is None or base.kind != "tensor":
+            raise self.err(f"cannot bind a window over {w.name}")
+        firsts = [d.lo if isinstance(d, N.Interval) else d.pt for d in w.idx]
+        strides = [
+            (base.strides[i] if base.strides and i < len(base.strides) else "1")
+            for i, d in enumerate(w.idx)
+            if isinstance(d, N.Interval)
+        ]
+        c = self.names.of(s.name)
+        self.bufs[s.name] = _Buf("tensor", base.ctype, strides=strides)
+        self.emit(f"{base.ctype} *{c} = {self.names.of(w.name)} + ({self.flat(w.name, firsts)});")
+
+    # -- calls ---------------------------------------------------------------------
+
+    def gen_call(self, call: N.Call) -> None:
         callee = call.proc
         cdef = callee._root if hasattr(callee, "_root") else callee
-        if cdef.instr is not None:
-            fmt: Dict[str, str] = {}
-            for fn_arg, actual in zip(cdef.args, call.args):
-                name = fn_arg.name.name
-                fmt[name] = _c_expr(actual, strides)
-                if isinstance(actual, (N.WindowExpr,)):
-                    fmt[f"{name}_data"] = _c_expr(actual, strides).lstrip("&")
-                elif isinstance(actual, N.Read):
-                    fmt[f"{name}_data"] = _c_expr(actual, strides)
-                else:
-                    fmt[f"{name}_data"] = _c_expr(actual, strides)
-            if cdef.instr.c_global:
-                self.instr_globals.add(cdef.instr.c_global)
-            try:
-                text = cdef.instr.c_instr.format(**fmt)
-            except (KeyError, IndexError):
-                text = f"/* instr {cdef.name} */"
-            for line in text.split("\n"):
-                self.emit(line)
+        if len(cdef.args) != len(call.args):
+            raise self.err(f"call of {cdef.name} with {len(call.args)} args (expects {len(cdef.args)})")
+        if (
+            cdef.instr is not None
+            and cdef.instr.intrinsic
+            and self.options.intrinsics
+            and self.intrinsic_applicable(cdef, call)
+        ):
+            self.gen_intrinsic(cdef, call)
         else:
-            args = ", ".join(_c_expr(a, strides) for a in call.args)
-            self.emit(f"{cdef.name}(ctxt, {args});")
+            self.gen_inlined(cdef, call)
+
+    def intrinsic_applicable(self, cdef: N.ProcDef, call: N.Call) -> bool:
+        """An intrinsic template is only emitted when every tensor operand's
+        execution element type matches the instruction's declared precision —
+        e.g. ``dsdot`` stages ``f32`` data through ``f64`` registers, and a
+        raw-bits ``_mm256_loadu_pd`` from a ``float*`` would be garbage.
+        Mismatched calls inline the instruction body instead, where scalar C
+        conversions apply."""
+        for fn_arg, actual in zip(cdef.args, call.args):
+            if not isinstance(fn_arg.typ, TensorType):
+                continue
+            if not isinstance(actual, (N.Read, N.WindowExpr)):
+                return False
+            buf = self.bufs.get(actual.name)
+            if buf is None or buf.ctype != _exec_ctype(fn_arg.typ):
+                return False
+        return True
+
+    def gen_intrinsic(self, cdef: N.ProcDef, call: N.Call) -> None:
+        fmt: Dict[str, str] = {}
+        for fn_arg, actual in zip(cdef.args, call.args):
+            rendered = self.actual_str(fn_arg, actual)
+            fmt[fn_arg.name.name] = rendered
+            fmt[f"{fn_arg.name.name}_data"] = rendered
+        if cdef.instr.c_global and cdef.instr.c_global not in self.globals:
+            self.globals.append(cdef.instr.c_global)
+        try:
+            text = cdef.instr.c_instr.format(**fmt)
+        except (KeyError, IndexError) as exc:
+            raise self.err(f"instruction template of {cdef.name} references unknown key {exc}") from exc
+        for line in text.split("\n"):
+            self.emit(line)
+
+    def actual_str(self, fn_arg: N.FnArg, actual: N.Expr) -> str:
+        """Render a call actual for substitution into an intrinsic template.
+
+        Buffer actuals render as the *first element lvalue* (templates take
+        its address with ``&``) and vector-register actuals as the register
+        variable itself.
+        """
+        if isinstance(actual, N.WindowExpr):
+            buf = self.bufs.get(actual.name)
+            if buf is None:
+                raise self.err(f"call actual windows unknown buffer {actual.name}", actual)
+            if buf.kind == "vreg":
+                outer, last = list(actual.idx[:-1]), actual.idx[-1]
+                if (
+                    not isinstance(last, N.Interval)
+                    or _const_int(last.lo) != 0
+                    or _const_int(last.hi) != buf.lanes
+                    or not all(isinstance(d, N.Point) for d in outer)
+                ):
+                    raise self.err("partial vector-register window in a call", actual)
+                return self.vreg_ref(actual.name, [d.pt for d in outer], actual)
+            firsts = [d.lo if isinstance(d, N.Interval) else d.pt for d in actual.idx]
+            return f"{self.names.of(actual.name)}[{self.flat(actual.name, firsts)}]"
+        if isinstance(actual, N.Read) and not actual.idx:
+            buf = self.bufs.get(actual.name)
+            if buf is not None and buf.kind == "vreg":
+                return self.vreg_ref(actual.name, [], actual)
+            if buf is not None and buf.kind == "tensor":
+                return f"{self.names.of(actual.name)}[0]"
+            return self.names.of(actual.name)
+        return self.expr(actual)
+
+    def gen_inlined(self, cdef: N.ProcDef, call: N.Call) -> None:
+        if self.inline_depth >= _MAX_INLINE_DEPTH:
+            raise self.err(f"call chain through {cdef.name} is too deep to inline")
+        fresh = alpha_rename_stmts(cdef.body)
+        try:
+            body = substitute_call_body(cdef.args, call.args, fresh)
+        except InlineError as exc:
+            raise self.err(f"cannot inline call of {cdef.name}: {exc}") from exc
+        self.emit(f"{{ /* {cdef.name} */")
+        self.indent += 1
+        self.inline_depth += 1
+        try:
+            self.gen_block(body)
+        finally:
+            self.inline_depth -= 1
+        self.indent -= 1
+        self.emit("}")
+
+    # -- whole procedures ------------------------------------------------------------
+
+    def gen_proc(self, *, static: bool = False) -> Tuple[str, tuple]:
+        root = self.root
+        params: List[str] = []
+        argspec: List[tuple] = []
+        # reserve every argument name (and its stride names) first so inner
+        # allocations can never shadow them
+        for a in root.args:
+            self.names.of(a.name)
+        for a in root.args:
+            c = self.names.of(a.name)
+            if isinstance(a.typ, TensorType):
+                ct = _exec_ctype(a.typ)
+                rank = len(a.typ.shape)
+                params.append(f"{ct} *{c}")
+                strides = []
+                for d in range(rank):
+                    sname = f"{c}_s{d}"
+                    self.names.reserve(sname)
+                    params.append(f"int64_t {sname}")
+                    strides.append(sname)
+                self.bufs[a.name] = _Buf("tensor", ct, strides=strides)
+                argspec.append(("tensor", np_dtype_for(a.typ).name, rank, a.name.name))
+            elif a.typ.is_indexable():
+                params.append(f"int64_t {c}")
+                self.int_syms.add(a.name)
+                argspec.append(("i64", a.name.name))
+            elif a.typ.is_bool():
+                params.append(f"bool {c}")
+                self.int_syms.add(a.name)
+                argspec.append(("bool", a.name.name))
+            elif a.typ.is_float:
+                # scalar FP arguments compute at f64, as the interpreter does
+                params.append(f"double {c}")
+                self.bufs[a.name] = _Buf("scalar", "double")
+                argspec.append(("f64", a.name.name))
+            else:
+                params.append(f"int32_t {c}")
+                self.bufs[a.name] = _Buf("scalar", "int32_t")
+                argspec.append(("i32", a.name.name))
+        qual = "static " if static else ""
+        self.emit(f"{qual}void {root.name}({', '.join(params) or 'void'}) {{")
+        self.indent += 1
+        for p in root.preds:
+            self.emit(f"// assert {expr_str(p)}  (checked by the caller)")
+        self.gen_block(root.body)
+        self.indent -= 1
+        self.emit("}")
+        return "\n".join(self.lines), tuple(argspec)
 
 
-def proc_to_c(procedure, *, static: bool = False) -> str:
-    """Lower one procedure to a C function definition."""
+# ---------------------------------------------------------------------------
+# Translation-unit assembly
+# ---------------------------------------------------------------------------
+
+# Helpers every generated unit may reference.  ``repro_fdiv``/``repro_fmod``
+# give `/` and `%` the object language's (Python's) floor semantics on
+# negatives.  The AVX2 helpers implement predicated (tail) vector ops by
+# masked load/store and blends — AVX2 has no opmask registers; preserved
+# lanes must keep their destination value.  The AVX-512 helpers turn a lane
+# count into an opmask.
+PREAMBLE = """\
+#include <stdint.h>
+#include <stdbool.h>
+#include <stddef.h>
+#include <stdlib.h>
+#include <math.h>
+#if defined(__AVX__) || defined(__AVX2__) || defined(__AVX512F__)
+#include <immintrin.h>
+#endif
+
+static inline int64_t repro_fdiv(int64_t a, int64_t b) {
+    int64_t q = a / b;
+    if ((a % b != 0) && ((a < 0) != (b < 0))) q -= 1;
+    return q;
+}
+static inline int64_t repro_fmod(int64_t a, int64_t b) {
+    int64_t r = a % b;
+    if (r != 0 && ((r < 0) != (b < 0))) r += b;
+    return r;
+}
+
+#if defined(__AVX512F__)
+static inline __mmask16 repro_mask16(int64_t n) {
+    if (n <= 0) return (__mmask16)0;
+    if (n >= 16) return (__mmask16)0xFFFF;
+    return (__mmask16)((1u << n) - 1u);
+}
+static inline __mmask8 repro_mask8(int64_t n) {
+    if (n <= 0) return (__mmask8)0;
+    if (n >= 8) return (__mmask8)0xFF;
+    return (__mmask8)((1u << n) - 1u);
+}
+#endif
+
+#if defined(__AVX2__)
+static inline __m256i repro_avx2_lanes_ps(int64_t n) {
+    if (n < 0) n = 0;
+    if (n > 8) n = 8;
+    return _mm256_cmpgt_epi32(_mm256_set1_epi32((int32_t)n),
+                              _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7));
+}
+static inline __m256i repro_avx2_lanes_pd(int64_t n) {
+    if (n < 0) n = 0;
+    if (n > 4) n = 4;
+    return _mm256_cmpgt_epi64(_mm256_set1_epi64x(n),
+                              _mm256_setr_epi64x(0, 1, 2, 3));
+}
+static inline __m256 repro_avx2_maskload_ps(__m256 dst, float const *src, int64_t n) {
+    __m256i m = repro_avx2_lanes_ps(n);
+    return _mm256_blendv_ps(dst, _mm256_maskload_ps(src, m), _mm256_castsi256_ps(m));
+}
+static inline __m256d repro_avx2_maskload_pd(__m256d dst, double const *src, int64_t n) {
+    __m256i m = repro_avx2_lanes_pd(n);
+    return _mm256_blendv_pd(dst, _mm256_maskload_pd(src, m), _mm256_castsi256_pd(m));
+}
+static inline void repro_avx2_maskstore_ps(float *dst, __m256 src, int64_t n) {
+    _mm256_maskstore_ps(dst, repro_avx2_lanes_ps(n), src);
+}
+static inline void repro_avx2_maskstore_pd(double *dst, __m256d src, int64_t n) {
+    _mm256_maskstore_pd(dst, repro_avx2_lanes_pd(n), src);
+}
+static inline __m256 repro_avx2_maskblend_ps(__m256 dst, __m256 val, int64_t n) {
+    __m256i m = repro_avx2_lanes_ps(n);
+    return _mm256_blendv_ps(dst, val, _mm256_castsi256_ps(m));
+}
+static inline __m256d repro_avx2_maskblend_pd(__m256d dst, __m256d val, int64_t n) {
+    __m256i m = repro_avx2_lanes_pd(n);
+    return _mm256_blendv_pd(dst, val, _mm256_castsi256_pd(m));
+}
+#endif
+"""
+
+
+def _emit(root: N.ProcDef, options: CodegenOptions, *, static: bool = False):
+    gen = _CGen(root, options)
+    text, argspec = gen.gen_proc(static=static)
+    return text, argspec, gen.globals
+
+
+def proc_to_c(procedure, *, static: bool = False, options: Optional[CodegenOptions] = None) -> str:
+    """Lower one procedure to a C function definition.
+
+    The text assumes :data:`PREAMBLE` is in scope (see :func:`compile_to_c`
+    and :func:`emit_unit`).  Raises :class:`CodegenError` — with the printed
+    form of the offending statement — for anything that cannot be lowered.
+    """
     root = procedure._root if hasattr(procedure, "_root") else procedure
-    gen = _CGen()
-    strides: Dict = {}
-    params = ["void *ctxt_"]
-    for a in root.args:
-        if isinstance(a.typ, TensorType):
-            params.append(f"{a.typ.base.ctype()}* {a.name}")
-            strides[a.name] = _row_major_strides(a.typ.shape)
-        elif a.typ.is_indexable():
-            params.append(f"int_fast32_t {a.name}")
-        elif a.typ.is_bool():
-            params.append(f"bool {a.name}")
-        else:
-            params.append(f"{a.typ.ctype()} {a.name}")
-    qual = "static " if static else ""
-    gen.emit(f"{qual}void {root.name}({', '.join(params)}) {{")
-    gen.indent += 1
-    for p in root.preds:
-        gen.emit(f"// assert {expr_str(p)}")
-    gen.gen_stmts(root.body, strides)
-    gen.indent -= 1
-    gen.emit("}")
-    return "\n".join(gen.lines)
+    text, _spec, _globals = _emit(root, options or CodegenOptions(), static=static)
+    return text
 
 
-def compile_to_c(procedures, header_name: str = "kernels") -> str:
-    """Lower a list of procedures (plus the instruction sub-procedures they
-    reference) into a single C translation unit."""
+def compile_to_c(procedures, header_name: str = "kernels", options: Optional[CodegenOptions] = None) -> str:
+    """Lower a list of procedures into a single, compilable C translation unit."""
     if not isinstance(procedures, (list, tuple)):
         procedures = [procedures]
-    out = [
-        "#include <stdint.h>",
-        "#include <stdbool.h>",
-        "#include <math.h>",
-        "#include <immintrin.h>",
-        "",
-        f"// generated by repro (Exo 2 reproduction) — {header_name}",
-        "",
-    ]
+    options = options or CodegenOptions()
+    funcs, globs = [], []
     for p in procedures:
-        out.append(proc_to_c(p))
+        root = p._root if hasattr(p, "_root") else p
+        text, _spec, g = _emit(root, options)
+        funcs.append(text)
+        for item in g:
+            if item not in globs:
+                globs.append(item)
+    out = [PREAMBLE, f"// generated by repro (Exo 2 reproduction) — {header_name}", ""]
+    out.extend(globs)
+    for f in funcs:
+        out.append(f)
         out.append("")
     return "\n".join(out)
+
+
+def emit_unit(procedure, options: Optional[CodegenOptions] = None) -> NativeUnit:
+    """Emit one procedure as a self-contained translation unit for the native
+    execution backend (:mod:`repro.backend.native`), together with the
+    ctypes-facing argument spec of the calling convention."""
+    root = procedure._root if hasattr(procedure, "_root") else procedure
+    options = options or CodegenOptions()
+    text, argspec, globs = _emit(root, options)
+    parts = [PREAMBLE]
+    parts.extend(globs)
+    parts.append(text)
+    return NativeUnit(root.name, "\n".join(parts) + "\n", argspec)

@@ -1,0 +1,330 @@
+"""Native execution backend: compile generated C, cache it, call it.
+
+The pipeline is ``emit_unit`` (:mod:`repro.backend.codegen`) → system ``cc``
+(``-O3 -march=native -fPIC -shared``) → ``ctypes.CDLL`` → a callable
+:class:`NativeProc` that takes the same argument dict :func:`run_proc` builds
+(NumPy buffers pass as data pointers plus explicit per-dimension *element*
+strides, so views and transposes work without copies).
+
+Compiled shared objects persist in an on-disk artifact cache keyed — with the
+same discipline as the tuner leaderboard — on
+
+    (codegen version, procedure digest, generated-source digest,
+     codegen options, cc version, machine id)
+
+where the procedure digest is the sha256 of the *printed* procedure (process
+stable, unlike the in-memory ``struct_hash``).  Warm runs therefore skip the
+compiler entirely, across processes.  Artifacts are written atomically
+(temp file + rename), corrupt or truncated ``.so`` files are evicted and
+rebuilt, and the cache is LRU-pruned so it cannot grow without bound.
+
+Failures split into :class:`CodegenError` (the procedure cannot be lowered),
+:class:`NativeUnavailableError` (no ``cc``, compile or load failed — the
+interpreter falls back to the compiled NumPy engine) and
+:class:`NativeRunError` (argument mismatch at call time).
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import platform
+import shutil
+import subprocess
+import tempfile
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import BackendError
+from ..ir.printing import proc_str
+from .codegen import CODEGEN_VERSION, CodegenError, CodegenOptions, NativeUnit, emit_unit
+
+__all__ = [
+    "NativeError",
+    "NativeUnavailableError",
+    "NativeRunError",
+    "NativeProc",
+    "artifact_key",
+    "cache_dir",
+    "cache_stats",
+    "compile_native",
+    "find_cc",
+    "reset_cache_stats",
+    "clear_memo",
+    "MAX_CACHE_ENTRIES",
+]
+
+
+class NativeError(BackendError):
+    """Base class of native-backend failures."""
+
+
+class NativeUnavailableError(NativeError):
+    """The native backend cannot produce a callable here (no C compiler, or
+    the compile/load step failed).  Callers degrade to the NumPy engine."""
+
+
+class NativeRunError(NativeError):
+    """A compiled kernel was called with arguments that do not fit its
+    calling convention (wrong dtype, wrong rank, misaligned strides)."""
+
+
+MAX_CACHE_ENTRIES = 256
+
+_stats = {"memo_hits": 0, "disk_hits": 0, "compiles": 0, "corrupt_evicted": 0, "pruned": 0}
+_memo: Dict[str, "NativeProc"] = {}
+_cc_version_memo: Dict[str, str] = {}
+
+
+def cache_stats() -> Dict[str, int]:
+    """Counters of the persistent artifact cache (process-wide)."""
+    return dict(_stats)
+
+
+def reset_cache_stats() -> None:
+    for k in _stats:
+        _stats[k] = 0
+
+
+def clear_memo() -> None:
+    """Drop the in-process memo (cached ctypes handles stay loaded)."""
+    _memo.clear()
+
+
+def cache_dir() -> str:
+    """The artifact cache directory (override with ``REPRO_NATIVE_CACHE``)."""
+    env = os.environ.get("REPRO_NATIVE_CACHE")
+    if env:
+        return env
+    return os.path.join(os.path.expanduser("~"), ".cache", "repro", "native")
+
+
+def find_cc() -> Optional[str]:
+    """Absolute path of the system C compiler, or None."""
+    return shutil.which(os.environ.get("CC") or "cc")
+
+
+def cc_version(cc: str) -> str:
+    got = _cc_version_memo.get(cc)
+    if got is None:
+        try:
+            out = subprocess.run(
+                [cc, "--version"], capture_output=True, text=True, timeout=30, check=True
+            ).stdout
+            got = out.splitlines()[0].strip() if out else "unknown"
+        except (OSError, subprocess.SubprocessError):
+            got = "unknown"
+        _cc_version_memo[cc] = got
+    return got
+
+
+def _machine_id() -> str:
+    try:
+        from ..tune.results import machine_id
+
+        return machine_id()
+    except Exception:
+        return f"{platform.system()}-{platform.machine()}"
+
+
+def _sha(text: str) -> str:
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+def artifact_key(procedure, options: Optional[CodegenOptions] = None, cc: Optional[str] = None) -> str:
+    """The persistent cache key for one procedure's compiled artifact.
+
+    Stable across processes: every component is either a version constant, a
+    digest of printed text, or a machine/toolchain identifier.
+    """
+    root = procedure._root if hasattr(procedure, "_root") else procedure
+    options = options or CodegenOptions()
+    unit = emit_unit(root, options)
+    cc = cc or find_cc() or "cc"
+    parts = "|".join(
+        [
+            f"codegen={CODEGEN_VERSION}",
+            f"proc={_sha(proc_str(root))}",
+            f"src={_sha(unit.source)}",
+            f"opts={options.key()}",
+            f"cc={cc_version(cc) if os.path.exists(cc) else cc}",
+            f"machine={_machine_id()}",
+        ]
+    )
+    return _sha(parts)[:32]
+
+
+# ---------------------------------------------------------------------------
+# The callable
+# ---------------------------------------------------------------------------
+
+
+_SCALAR_CTYPES = {
+    "i64": ctypes.c_int64,
+    "i32": ctypes.c_int32,
+    "f64": ctypes.c_double,
+    "bool": ctypes.c_bool,
+}
+
+
+@dataclass
+class NativeProc:
+    """A loaded, callable compiled kernel."""
+
+    name: str
+    source: str
+    argspec: Tuple[tuple, ...]
+    so_path: str
+    _fn: object = None
+
+    def __call__(self, values: Dict[str, object]) -> None:
+        """Run the kernel on a ``{arg name: value}`` dict (tensors in place)."""
+        args: List[object] = []
+        for spec in self.argspec:
+            if spec[0] == "tensor":
+                _tag, dtype_name, rank, name = spec
+                v = values[name]
+                if not isinstance(v, np.ndarray):
+                    raise NativeRunError(f"{self.name}: argument {name!r} must be a numpy array")
+                if v.dtype != np.dtype(dtype_name):
+                    raise NativeRunError(
+                        f"{self.name}: argument {name!r} has dtype {v.dtype}, expected {dtype_name}"
+                    )
+                if v.ndim != rank:
+                    raise NativeRunError(
+                        f"{self.name}: argument {name!r} has rank {v.ndim}, expected {rank}"
+                    )
+                args.append(ctypes.c_void_p(v.ctypes.data))
+                for d in range(rank):
+                    s = v.strides[d]
+                    if s % v.itemsize != 0:
+                        raise NativeRunError(
+                            f"{self.name}: argument {name!r} has a sub-element stride"
+                        )
+                    args.append(ctypes.c_int64(s // v.itemsize))
+            else:
+                tag, name = spec
+                v = values[name]
+                if tag == "f64":
+                    args.append(ctypes.c_double(float(v)))
+                elif tag == "bool":
+                    args.append(ctypes.c_bool(bool(v)))
+                else:
+                    args.append(_SCALAR_CTYPES[tag](int(v)))
+        self._fn(*args)
+
+
+# ---------------------------------------------------------------------------
+# Build + cache
+# ---------------------------------------------------------------------------
+
+
+def _load(unit: NativeUnit, so_path: str) -> NativeProc:
+    lib = ctypes.CDLL(so_path)
+    fn = getattr(lib, unit.name)
+    fn.restype = None
+    return NativeProc(unit.name, unit.source, unit.argspec, so_path, fn)
+
+
+def _build(cc: str, options: CodegenOptions, c_path: str, so_path: str) -> None:
+    fd, tmp_so = tempfile.mkstemp(suffix=".so", dir=os.path.dirname(so_path))
+    os.close(fd)
+    cmd = [cc, *options.cflags(), "-fPIC", "-shared", "-o", tmp_so, c_path, "-lm"]
+    try:
+        proc = subprocess.run(cmd, capture_output=True, text=True, timeout=300)
+        if proc.returncode != 0:
+            tail = "\n".join(proc.stderr.splitlines()[-12:])
+            raise NativeUnavailableError(f"cc failed for {os.path.basename(c_path)}:\n{tail}")
+        os.replace(tmp_so, so_path)  # atomic publish; readers never see a torn .so
+    finally:
+        if os.path.exists(tmp_so):
+            os.unlink(tmp_so)
+
+
+def _write_atomic(path: str, text: str) -> None:
+    fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path))
+    try:
+        with os.fdopen(fd, "w") as f:
+            f.write(text)
+        os.replace(tmp, path)
+    finally:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+
+
+def _prune(directory: str, keep: int) -> None:
+    """Drop the least-recently-used artifacts beyond ``keep`` entries (hits
+    touch the ``.so`` mtime, so mtime order is use order)."""
+    try:
+        sos = [e for e in os.scandir(directory) if e.name.endswith(".so")]
+    except OSError:
+        return
+    if len(sos) <= keep:
+        return
+    sos.sort(key=lambda e: e.stat().st_mtime)
+    for e in sos[: len(sos) - keep]:
+        stem = e.path[: -len(".so")]
+        for victim in (e.path, stem + ".c"):
+            try:
+                os.unlink(victim)
+            except OSError:
+                pass
+        _stats["pruned"] += 1
+
+
+def compile_native(
+    procedure,
+    options: Optional[CodegenOptions] = None,
+    directory: Optional[str] = None,
+) -> NativeProc:
+    """Compile (or fetch from cache) a procedure's native kernel.
+
+    Raises :class:`CodegenError` when the procedure cannot be lowered to C
+    and :class:`NativeUnavailableError` when no working toolchain is
+    available; both are non-destructive (nothing half-built is left behind).
+    """
+    root = procedure._root if hasattr(procedure, "_root") else procedure
+    options = options or CodegenOptions()
+    cc = find_cc()
+    if cc is None:
+        raise NativeUnavailableError("no C compiler on PATH (set $CC or install cc)")
+
+    unit = emit_unit(root, options)  # may raise CodegenError
+    key = artifact_key(root, options, cc)
+    memo = _memo.get(key)
+    if memo is not None:
+        _stats["memo_hits"] += 1
+        return memo
+
+    directory = directory or cache_dir()
+    os.makedirs(directory, exist_ok=True)
+    so_path = os.path.join(directory, f"{key}.so")
+    c_path = os.path.join(directory, f"{key}.c")
+
+    proc = None
+    if os.path.exists(so_path):
+        try:
+            proc = _load(unit, so_path)
+            _stats["disk_hits"] += 1
+            os.utime(so_path)  # LRU touch
+        except OSError:
+            # corrupt or truncated artifact: evict and rebuild
+            _stats["corrupt_evicted"] += 1
+            try:
+                os.unlink(so_path)
+            except OSError:
+                pass
+    if proc is None:
+        _write_atomic(c_path, unit.source)
+        _build(cc, options, c_path, so_path)
+        _stats["compiles"] += 1
+        try:
+            proc = _load(unit, so_path)
+        except OSError as exc:
+            raise NativeUnavailableError(f"cannot load freshly built {so_path}: {exc}") from exc
+        _prune(directory, MAX_CACHE_ENTRIES)
+    _memo[key] = proc
+    return proc

@@ -20,6 +20,7 @@ __all__ = [
     "InvalidCursorError",
     "ParseError",
     "BackendError",
+    "CodegenError",
     "cursor_location",
 ]
 
@@ -62,3 +63,23 @@ class ParseError(ExoError):
 
 class BackendError(ExoError):
     """A backend (code-generation time) check failed."""
+
+
+class CodegenError(BackendError):
+    """The C code generator cannot lower a construct.
+
+    Raised *before* any broken C is emitted.  ``location`` holds the printed
+    source form of the offending statement or expression (surface syntax, as
+    the cursor UI prints it) and ``proc_name`` the procedure it sits in; both
+    are woven into the message.
+    """
+
+    def __init__(self, message: str, *, proc_name: str = None, location: str = None):
+        parts = [message]
+        if location:
+            parts.append(f"at: {location}")
+        if proc_name:
+            parts.append(f"in procedure {proc_name!r}")
+        super().__init__("\n  ".join(parts))
+        self.proc_name = proc_name
+        self.location = location

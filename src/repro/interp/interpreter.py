@@ -19,9 +19,16 @@ argument:
   cannot lower, and a silent whole-procedure fallback when a procedure cannot
   be compiled at all;
 * ``"interp"`` — this tree-walking reference interpreter;
-* ``"differential"`` — run *both* engines on identical inputs and raise
+* ``"c"`` — the native backend (:mod:`repro.backend.native`): the procedure
+  is lowered to C with real AVX2/AVX-512 intrinsics, compiled with the system
+  ``cc`` (artifacts persist in an on-disk cache) and called through
+  ``ctypes``.  When the toolchain is missing or the procedure cannot be
+  lowered, execution degrades to ``"compiled"`` with a one-time warning;
+* ``"differential"`` — run the engines on identical inputs and raise
   :class:`DifferentialError` if any tensor argument diverges beyond
-  ``check_equiv`` tolerances.
+  ``check_equiv`` tolerances.  The compiled engine is cross-checked against
+  this interpreter always, and the native C backend joins as a third leg
+  whenever a toolchain is available.
 
 The default can be overridden with the ``REPRO_EXEC_BACKEND`` environment
 variable or :func:`set_default_backend`.
@@ -64,7 +71,7 @@ class DifferentialError(InterpError):
     """The compiled engine and the tree interpreter disagreed on an output."""
 
 
-_BACKENDS = ("compiled", "interp", "differential")
+_BACKENDS = ("compiled", "interp", "differential", "c")
 _default_backend = os.environ.get("REPRO_EXEC_BACKEND", "compiled")
 
 
@@ -277,6 +284,35 @@ def _run_compiled(root, env: Dict[Sym, object], config_state, inline: Optional[b
     engine.run(ctx, [env[a.name] for a in root.args])
 
 
+def _run_native(root, values: Dict[str, object]) -> None:
+    """Execute through the native C backend (compile-and-cache, then call).
+
+    Raises CodegenError / NativeError when the procedure cannot be lowered or
+    no toolchain is available — callers decide how to degrade."""
+    from ..backend.native import compile_native
+
+    compile_native(root)(values)
+
+
+_native_fallback_warned = False
+
+
+def _warn_native_fallback(root, exc) -> None:
+    global _native_fallback_warned
+    if _native_fallback_warned:
+        return
+    _native_fallback_warned = True
+    import warnings
+
+    warnings.warn(
+        f"native C backend unavailable for {root.name!r} "
+        f"({type(exc).__name__}: {exc}); falling back to the compiled NumPy "
+        "engine (this warning is shown once per process)",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+
+
 def run_proc(
     procedure,
     *pos_args,
@@ -329,12 +365,30 @@ def run_proc(
         interp.exec_proc(root, env)
         return {n: values[n] for n in names}
 
+    if backend == "c":
+        from ..backend.native import NativeError
+        from ..errors import CodegenError
+
+        try:
+            _run_native(root, values)
+            return {n: values[n] for n in names}
+        except (CodegenError, NativeError) as exc:
+            # graceful degrade: nothing has executed yet (all failures happen
+            # before the kernel is called), so the compiled engine can take
+            # over on the same buffers
+            _warn_native_fallback(root, exc)
+            backend = "compiled"
+
     if backend == "differential":
         # reference run on private copies, compiled run on the caller's
-        # buffers, then compare every tensor argument and the config state
+        # buffers (and, toolchain permitting, a native C run on a third set
+        # of copies), then compare every tensor argument and the config state
         ref_env = {
             a.name: (env[a.name].copy() if isinstance(env[a.name], np.ndarray) else env[a.name])
             for a in root.args
+        }
+        c_values = {
+            n: (v.copy() if isinstance(v, np.ndarray) else v) for n, v in values.items()
         }
         if config_state is None:
             config_state = {}  # materialised so both legs are comparable
@@ -374,6 +428,28 @@ def run_proc(
                 f"{root.name}: compiled engine disagrees with the tree interpreter "
                 f"on the final configuration state"
             )
+        # third leg: the native C backend, when it can run here at all (a
+        # missing toolchain or an unlowerable construct — e.g. config state —
+        # skips the leg rather than weakening the compiled-vs-interp check)
+        from ..backend.native import NativeError
+        from ..errors import CodegenError
+
+        try:
+            _run_native(root, c_values)
+        except (CodegenError, NativeError):
+            pass
+        else:
+            for a in root.args:
+                got = c_values[a.name.name]
+                if not isinstance(got, np.ndarray):
+                    continue
+                want = ref_env[a.name]
+                if not np.allclose(got, want, rtol=diff_rtol, atol=diff_atol, equal_nan=True):
+                    worst = float(np.max(np.abs(np.asarray(got, dtype=np.float64) - want)))
+                    raise DifferentialError(
+                        f"{root.name}: native C backend disagrees with the tree "
+                        f"interpreter on argument {a.name.name!r} (max abs diff {worst:g})"
+                    )
     return {n: values[n] for n in names}
 
 

@@ -301,11 +301,20 @@ class FnArg(Node):
 
 @dataclass(eq=False)
 class InstrInfo(Node):
-    """Code-generation template attached to ``@instr`` procedures."""
+    """Code-generation template attached to ``@instr`` procedures.
+
+    ``intrinsic`` marks templates that are *real*, compilable C — the native
+    backend emits them verbatim and links the result.  Templates without the
+    flag (documentation pseudo-C, e.g. the Gemmini ISA on an x86 host, or a
+    user-modelled vector ISA with no hardware mapping) are never emitted by
+    the native backend; it inlines the instruction's body as scalar C
+    instead, which is always semantically correct.
+    """
 
     c_instr: str = ""
     c_global: str = ""
     cost: float = 1.0
+    intrinsic: bool = False
 
 
 @dataclass(eq=False)

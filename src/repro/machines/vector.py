@@ -109,12 +109,17 @@ def _build_isa(machine_name: str, mem: Memory, precision: str, vw: int, predicat
         ("AVX2", "f64"): ("_mm256", "pd"),
         ("AVX512", "f32"): ("_mm512", "ps"),
         ("AVX512", "f64"): ("_mm512", "pd"),
-    }.get((machine_name, T), ("_vec", T))
-    ibase, isfx = intrin
+    }
+    # Templates for the two x86 targets are real, compilable C (the native
+    # backend emits them verbatim and links the result); other machines get
+    # documentation pseudo-C that the native backend refuses to emit, falling
+    # back to the instruction's scalar body.
+    real = (machine_name, T) in intrin
+    ibase, isfx = intrin.get((machine_name, T), ("_vec", T))
 
     def mk(name, src, c_template, cost):
         p = proc_from_source(src, env)
-        p._root.instr = InstrInfo(c_template, "", cost)
+        p._root.instr = InstrInfo(c_template, "", cost, real)
         return p
 
     load = mk(
@@ -200,6 +205,49 @@ def {pfx}_fma(dst: [{T}][{vw}] @ VEC, a: [{T}][{vw}] @ VEC, b: [{T}][{vw}] @ VEC
 
     iset = InstructionSet(load, store, broadcast, set_zero, add, add_acc, mul, fma)
     if predicated:
+        # Predicated (tail) instructions.  The semantics (the bodies below)
+        # are "lanes with base + i < bound are touched, the rest keep their
+        # previous value".  AVX-512 expresses this directly with opmask
+        # intrinsics; AVX2 has only maskload/maskstore, so the arithmetic
+        # forms go through tiny blend helpers emitted in the native backend's
+        # preamble (see repro.backend.codegen.PREAMBLE).
+        cnt = "({bound}) - ({base})"
+        if machine_name == "AVX512" and real:
+            k = f"repro_mask{vw}({cnt})"
+            t_load = f"{{dst_data}} = {ibase}_mask_loadu_{isfx}({{dst_data}}, {k}, &{{src_data}});"
+            t_store = f"{ibase}_mask_storeu_{isfx}(&{{dst_data}}, {k}, {{src_data}});"
+            t_fma = f"{{dst_data}} = {ibase}_mask3_fmadd_{isfx}({{a_data}}, {{b_data}}, {{dst_data}}, {k});"
+            t_addacc = f"{{dst_data}} = {ibase}_mask_add_{isfx}({{dst_data}}, {k}, {{dst_data}}, {{a_data}});"
+            t_mul = f"{{dst_data}} = {ibase}_mask_mul_{isfx}({{dst_data}}, {k}, {{a_data}}, {{b_data}});"
+            t_bcast = (
+                f"{{dst_data}} = {ibase}_mask_blend_{isfx}({k}, {{dst_data}}, {ibase}_set1_{isfx}({{val}}));"
+            )
+        elif machine_name == "AVX2" and real:
+            t_load = f"{{dst_data}} = repro_avx2_maskload_{isfx}({{dst_data}}, &{{src_data}}, {cnt});"
+            t_store = f"repro_avx2_maskstore_{isfx}(&{{dst_data}}, {{src_data}}, {cnt});"
+            t_fma = (
+                f"{{dst_data}} = repro_avx2_maskblend_{isfx}({{dst_data}}, "
+                f"{ibase}_fmadd_{isfx}({{a_data}}, {{b_data}}, {{dst_data}}), {cnt});"
+            )
+            t_addacc = (
+                f"{{dst_data}} = repro_avx2_maskblend_{isfx}({{dst_data}}, "
+                f"{ibase}_add_{isfx}({{dst_data}}, {{a_data}}), {cnt});"
+            )
+            t_mul = (
+                f"{{dst_data}} = repro_avx2_maskblend_{isfx}({{dst_data}}, "
+                f"{ibase}_mul_{isfx}({{a_data}}, {{b_data}}), {cnt});"
+            )
+            t_bcast = (
+                f"{{dst_data}} = repro_avx2_maskblend_{isfx}({{dst_data}}, "
+                f"{ibase}_set1_{isfx}({{val}}), {cnt});"
+            )
+        else:
+            t_load = f"{{dst_data}} = {ibase}_maskz_loadu_{isfx}({cnt}, &{{src_data}});"
+            t_store = f"{ibase}_mask_storeu_{isfx}(&{{dst_data}}, {cnt}, {{src_data}});"
+            t_fma = f"{{dst_data}} = {ibase}_mask_fmadd_{isfx}({{a_data}}, {cnt}, {{b_data}}, {{dst_data}});"
+            t_addacc = f"{{dst_data}} = {ibase}_mask_add_{isfx}({{dst_data}}, {cnt}, {{dst_data}}, {{a_data}});"
+            t_mul = f"{{dst_data}} = {ibase}_maskz_mul_{isfx}({cnt}, {{a_data}}, {{b_data}});"
+            t_bcast = f"{{dst_data}} = {ibase}_maskz_set1_{isfx}({cnt}, {{val}});"
         iset.pred_load = mk(
             f"{pfx}_maskload",
             f"""
@@ -208,7 +256,7 @@ def {pfx}_maskload(dst: [{T}][{vw}] @ VEC, src: [{T}][{vw}] @ DRAM, bound: index
         if base + i < bound:
             dst[i] = src[i]
 """,
-            f"{{dst_data}} = {ibase}_maskz_loadu_{isfx}(({{bound}})-({{base}}), &{{src_data}});",
+            t_load,
             1.5,
         )
         iset.pred_store = mk(
@@ -219,7 +267,7 @@ def {pfx}_maskstore(dst: [{T}][{vw}] @ DRAM, src: [{T}][{vw}] @ VEC, bound: inde
         if base + i < bound:
             dst[i] = src[i]
 """,
-            f"{ibase}_mask_storeu_{isfx}(&{{dst_data}}, ({{bound}})-({{base}}), {{src_data}});",
+            t_store,
             1.5,
         )
         iset.pred_fma = mk(
@@ -230,7 +278,7 @@ def {pfx}_maskfma(dst: [{T}][{vw}] @ VEC, a: [{T}][{vw}] @ VEC, b: [{T}][{vw}] @
         if base + i < bound:
             dst[i] += a[i] * b[i]
 """,
-            f"{{dst_data}} = {ibase}_mask_fmadd_{isfx}({{a_data}}, ({{bound}})-({{base}}), {{b_data}}, {{dst_data}});",
+            t_fma,
             1.5,
         )
         iset.pred_add_acc = mk(
@@ -241,7 +289,7 @@ def {pfx}_maskadd_acc(dst: [{T}][{vw}] @ VEC, a: [{T}][{vw}] @ VEC, bound: index
         if base + i < bound:
             dst[i] += a[i]
 """,
-            f"{{dst_data}} = {ibase}_mask_add_{isfx}({{dst_data}}, ({{bound}})-({{base}}), {{dst_data}}, {{a_data}});",
+            t_addacc,
             1.5,
         )
         iset.pred_mul = mk(
@@ -252,7 +300,7 @@ def {pfx}_maskmul(dst: [{T}][{vw}] @ VEC, a: [{T}][{vw}] @ VEC, b: [{T}][{vw}] @
         if base + i < bound:
             dst[i] = a[i] * b[i]
 """,
-            f"{{dst_data}} = {ibase}_maskz_mul_{isfx}(({{bound}})-({{base}}), {{a_data}}, {{b_data}});",
+            t_mul,
             1.5,
         )
         iset.pred_broadcast = mk(
@@ -263,7 +311,7 @@ def {pfx}_maskbroadcast(dst: [{T}][{vw}] @ VEC, val: {T}, bound: index, base: in
         if base + i < bound:
             dst[i] = val
 """,
-            f"{{dst_data}} = {ibase}_maskz_set1_{isfx}(({{bound}})-({{base}}), {{val}});",
+            t_bcast,
             1.5,
         )
     return iset

@@ -16,21 +16,32 @@ __all__ = ["count_loc", "function_loc", "module_loc", "schedule_loc", "generated
 
 
 def count_loc(source: str) -> int:
-    """Count non-blank, non-comment lines in a source string."""
+    """Count non-blank, non-comment lines in a source string.
+
+    Docstrings count as comments, including multi-line docstrings whose
+    closing triple-quote ends a text line rather than standing alone — the
+    convention every schedule in this repo uses.
+    """
     n = 0
-    in_doc = False
+    in_doc = None  # the delimiter of the docstring we are inside, if any
     for raw in source.splitlines():
         line = raw.strip()
+        if in_doc is not None:
+            if in_doc in line:
+                rest = line.split(in_doc, 1)[1].strip()
+                in_doc = None
+                # code after the closing quotes on the same line still counts
+                if rest and not rest.startswith("#"):
+                    n += 1
+            continue
         if not line:
             continue
         if line.startswith('"""') or line.startswith("'''"):
             quote = line[:3]
-            # single-line docstring
+            # docstring closed on the same line it opened
             if line.count(quote) >= 2 and len(line) > 3:
                 continue
-            in_doc = not in_doc
-            continue
-        if in_doc:
+            in_doc = quote
             continue
         if line.startswith("#"):
             continue

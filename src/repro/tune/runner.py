@@ -163,6 +163,7 @@ class ScheduleRunner:
         seed: int = 0,
         cache: Optional[ReplayCache] = None,
         swept: Optional[Sequence[str]] = None,
+        backend: Optional[str] = None,
     ):
         if not isinstance(proc, Procedure):
             raise TuneError(f"ScheduleRunner: expected a Procedure, got {type(proc).__name__}")
@@ -175,6 +176,10 @@ class ScheduleRunner:
         self.seed = seed
         self.cache = cache if cache is not None else ReplayCache()
         self.prefix, self.suffix = split_prefix(schedule, swept or [])
+        # which execution engine the timing runs use (None: the process
+        # default); "c" times real vector code, with its warm-up run absorbing
+        # the cc invocation (or a cached-artifact load)
+        self.backend = backend
 
     # -- scheduling ------------------------------------------------------------
 
@@ -206,12 +211,12 @@ class ScheduleRunner:
                 k: (v.copy() if isinstance(v, np.ndarray) else v) for k, v in base.items()
             }
 
-        run_proc(scheduled, **fresh())  # warm-up absorbs one-time compilation
+        run_proc(scheduled, backend=self.backend, **fresh())  # warm-up absorbs one-time compilation
         best = float("inf")
         for _ in range(max(1, repeats)):
             args = fresh()
             t0 = time.perf_counter()
-            run_proc(scheduled, **args)
+            run_proc(scheduled, backend=self.backend, **args)
             best = min(best, time.perf_counter() - t0)
         return best
 
@@ -271,7 +276,7 @@ def evaluate_spec(spec: dict) -> dict:
 
     Spec keys: ``proc`` / ``schedule`` (dotted ``"pkg.mod:attr"`` references,
     with optional ``proc_args`` / ``schedule_args`` / ``schedule_kwargs``),
-    ``config``, ``size_env``, ``repeats``, ``seed``.  Returns
+    ``config``, ``size_env``, ``repeats``, ``seed``, ``backend``.  Returns
     ``Measurement.to_dict()`` with a ``"knob-error"`` status reserved for
     :class:`KnobError` so the parent can re-raise it across the process
     boundary.
@@ -288,6 +293,7 @@ def evaluate_spec(spec: dict) -> dict:
             repeats=spec.get("repeats", 3),
             seed=spec.get("seed", 0),
             swept=spec.get("swept"),
+            backend=spec.get("backend"),
         )
         return runner.evaluate(spec.get("config"), repeats=spec.get("repeats")).to_dict()
     except KnobError as err:

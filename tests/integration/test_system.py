@@ -70,6 +70,19 @@ def test_metrics_loc():
     assert function_loc(optimize_level_1) > 5
 
 
+def test_metrics_loc_multiline_docstrings():
+    # regression: a closing triple-quote that ends a text line (rather than
+    # standing alone) used to leave the counter stuck inside the docstring,
+    # zeroing the count for everything after it (bench_fig06c tripped this)
+    src = 'def f():\n    """doc line one\n    doc line two."""\n    return 1\n'
+    assert count_loc(src) == 2
+    src2 = '"""module doc\nspanning lines\n"""\nx = 1\n\n\ndef g():\n    pass\n'
+    assert count_loc(src2) == 3
+    # code sharing a line with the closing quotes still counts
+    src3 = 'x = 1\n"""doc\ndoc"""; y = 2\nz = 3\n'
+    assert count_loc(src3) == 3
+
+
 def test_halide_blur_schedule_correct():
     blur = make_blur()
     sched = schedule_blur(AVX512)
