@@ -16,10 +16,17 @@ apply — the C build must beat the compiled NumPy engine on at least one
 kernel, and re-resolving every artifact after dropping the in-process memo
 must be pure warm disk hits (no recompiles), proving the persistent cache.
 
+The first native run of a never-validated artifact is quarantined (ISSUE 7):
+executed in a forked watchdogged child before being trusted in-process.  The
+benchmark measures that one-time cost — first guarded call vs. warm
+validated call — and gates *structurally* that the guard ran exactly once
+and that warm runs never re-enter it (zero guard cost on the steady state).
+
 Emits ``BENCH_exec_throughput.json`` (interpreter vs. compiled vs. native C
 elems/s, per-kernel compile statistics — ``vector_loops`` /
-``fallback_stmts`` / ``inlined_calls`` — warm-cache statistics, and the
-tier-1 suite wall clock) so CI records the performance trajectory.
+``fallback_stmts`` / ``inlined_calls`` — warm-cache statistics, quarantine
+overhead, the degradation-event summary, and the tier-1 suite wall clock) so
+CI records the performance trajectory.
 
 Run directly::
 
@@ -124,6 +131,58 @@ def _bench(proc, size_env, elems: int, interp_repeat: int = 1):
     }
 
 
+def quarantine_overhead() -> dict | None:
+    """First guarded native run vs. warm validated run of one kernel.
+
+    A throwaway cache makes the artifact genuinely never-validated; the
+    artifact is pre-built so the comparison isolates the quarantine cost
+    (fork + guarded child run + in-process re-run) from the cc invocation.
+    Returns None when no toolchain or no ``fork`` is available.
+    """
+    import tempfile
+
+    from repro.interp import clear_exec_stats, exec_stats
+
+    if native_backend.find_cc() is None or not hasattr(os, "fork"):
+        return None
+    saxpy = LEVEL1_KERNELS["saxpy"]
+    root = saxpy._root if hasattr(saxpy, "_root") else saxpy
+    base = make_random_args(saxpy, {"n": 65536})
+
+    def fresh():
+        return {k: (v.copy() if isinstance(v, np.ndarray) else v) for k, v in base.items()}
+
+    prev = os.environ.get("REPRO_NATIVE_CACHE")
+    with tempfile.TemporaryDirectory() as tmp:
+        os.environ["REPRO_NATIVE_CACHE"] = tmp
+        native_backend.clear_memo()
+        clear_exec_stats()
+        try:
+            native_backend.compile_native(root)  # absorb the cc run up front
+            args = fresh()
+            t0 = time.perf_counter()
+            run_proc(saxpy, backend="c", **args)  # quarantined + re-run in-process
+            first_s = time.perf_counter() - t0
+            warm_s = _time(fresh, lambda a: run_proc(saxpy, backend="c", **a), repeat=7)
+            stats = exec_stats()
+        finally:
+            if prev is None:
+                os.environ.pop("REPRO_NATIVE_CACHE", None)
+            else:
+                os.environ["REPRO_NATIVE_CACHE"] = prev
+            native_backend.clear_memo()
+            clear_exec_stats()
+    guard = stats["guard"]
+    return {
+        "first_guarded_s": first_s,
+        "warm_validated_s": warm_s,
+        "overhead_x": first_s / warm_s if warm_s > 0 else float("inf"),
+        "guarded_runs": guard["guarded_runs"],
+        "guard_ok": guard["ok"],
+        "fallbacks": stats["fallbacks"],
+    }
+
+
 def tier1_wall_clock() -> float:
     env = dict(os.environ)
     env["PYTHONPATH"] = f"{REPO / 'src'}" + (
@@ -188,11 +247,17 @@ def main(argv) -> int:
             "warm_compiles": warm["compiles"],
         }
 
+    quarantine_summary = quarantine_overhead()
+
+    from repro.interp import exec_stats
+
     out = {
         "bench": "exec_throughput",
         "target_speedup": TARGET_SPEEDUP,
         "kernels": results,
         "native": native_summary,
+        "quarantine": quarantine_summary,
+        "fallbacks": exec_stats()["fallbacks"],
         "tier1_wall_s": None,
     }
     path = REPO / "BENCH_exec_throughput.json"
@@ -223,6 +288,13 @@ def main(argv) -> int:
             f"  artifact cache warm run: disk_hits={native_summary['warm_disk_hits']} "
             f"compiles={native_summary['warm_compiles']} ({native_summary['cc_version']})"
         )
+    if quarantine_summary is not None:
+        print(
+            f"  quarantine: first guarded run {quarantine_summary['first_guarded_s'] * 1e3:.2f} ms "
+            f"vs warm validated {quarantine_summary['warm_validated_s'] * 1e3:.2f} ms "
+            f"({quarantine_summary['overhead_x']:.1f}x one-time) | "
+            f"guarded_runs={quarantine_summary['guarded_runs']}"
+        )
     if out["tier1_wall_s"] is not None:
         print(f"  tier-1 wall clock: {out['tier1_wall_s']:.1f} s")
     print(f"  wrote {path.name}")
@@ -251,6 +323,19 @@ def main(argv) -> int:
                 f"artifact cache not warm on second run "
                 f"(disk_hits={native_summary['warm_disk_hits']}, "
                 f"compiles={native_summary['warm_compiles']})"
+            )
+    if quarantine_summary is not None:
+        # the guard must run exactly once (the first call) and validate
+        # cleanly; warm validated calls must never re-enter it
+        if quarantine_summary["guarded_runs"] != 1 or quarantine_summary["guard_ok"] != 1:
+            failures.append(
+                f"quarantine: expected exactly one clean guarded run, got "
+                f"guarded_runs={quarantine_summary['guarded_runs']} "
+                f"ok={quarantine_summary['guard_ok']}"
+            )
+        if quarantine_summary["fallbacks"]:
+            failures.append(
+                f"quarantine: clean path recorded fallbacks {quarantine_summary['fallbacks']}"
             )
     if failures:
         print("FAIL:", "; ".join(failures))

@@ -20,14 +20,36 @@ rebuilt, and the cache is LRU-pruned so it cannot grow without bound.
 
 Failures split into :class:`CodegenError` (the procedure cannot be lowered),
 :class:`NativeUnavailableError` (no ``cc``, compile or load failed — the
-interpreter falls back to the compiled NumPy engine) and
-:class:`NativeRunError` (argument mismatch at call time).
+interpreter falls back to the compiled NumPy engine),
+:class:`NativeRunError` (argument mismatch at call time) and
+:class:`ArtifactPoisonedError` (the artifact crashed or hung its quarantined
+first run and is now banned on this machine).
+
+Trust lifecycle (ISSUE 7)
+-------------------------
+Loading freshly generated machine code into the host process is a trust
+decision, so every artifact carries a status in a ``<key>.meta.json``
+sidecar: ``new`` (never executed here), ``validated`` (survived a clean
+first run inside the forked quarantine guard — all later calls go in-process
+at full speed), or ``poisoned`` (its guarded first run died on a signal or
+hung past the watchdog; :func:`call_guarded` refuses it forever after
+without re-entering the guard).  :func:`call_guarded` is the execution
+entry point ``run_proc(backend="c")`` uses; calling a :class:`NativeProc`
+directly bypasses the guard (appropriate only for already-trusted contexts
+such as the differential test sweep).
+
+Transient failures — the ``cc`` process failing to spawn, the atomic
+artifact publish losing a filesystem race — are retried with bounded
+exponential backoff (:func:`repro.guard.retry.with_retry`).  All of these
+paths honour the named faults of :mod:`repro.guard.faults` (``cc-missing``,
+``cc-transient``, ``artifact-corrupt``, ``publish-race``).
 """
 
 from __future__ import annotations
 
 import ctypes
 import hashlib
+import json
 import os
 import platform
 import shutil
@@ -39,6 +61,8 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from ..errors import BackendError
+from ..guard import faults, quarantine
+from ..guard.retry import with_retry
 from ..ir.printing import proc_str
 from .codegen import CODEGEN_VERSION, CodegenError, CodegenOptions, NativeUnit, emit_unit
 
@@ -46,8 +70,15 @@ __all__ = [
     "NativeError",
     "NativeUnavailableError",
     "NativeRunError",
+    "ArtifactPoisonedError",
     "NativeProc",
     "artifact_key",
+    "artifact_status",
+    "artifact_meta",
+    "mark_validated",
+    "mark_poisoned",
+    "clear_artifact_status",
+    "call_guarded",
     "cache_dir",
     "cache_stats",
     "compile_native",
@@ -59,7 +90,15 @@ __all__ = [
 
 
 class NativeError(BackendError):
-    """Base class of native-backend failures."""
+    """Base class of native-backend failures.
+
+    ``reason`` (when set) is a stable identifier the degradation ladder
+    records on its :class:`~repro.guard.events.FallbackEvent`;
+    ``artifact_key`` names the cache entry involved, when one exists.
+    """
+
+    reason: Optional[str] = None
+    artifact_key: Optional[str] = None
 
 
 class NativeUnavailableError(NativeError):
@@ -70,6 +109,19 @@ class NativeUnavailableError(NativeError):
 class NativeRunError(NativeError):
     """A compiled kernel was called with arguments that do not fit its
     calling convention (wrong dtype, wrong rank, misaligned strides)."""
+
+    reason = "native-run-error"
+
+
+class ArtifactPoisonedError(NativeError):
+    """The artifact crashed (SIGSEGV/SIGFPE/SIGBUS) or hung its quarantined
+    first run; it is marked poisoned in the cache and will never be executed
+    in-process on this machine.  Callers degrade to the NumPy engine."""
+
+    def __init__(self, message: str, *, reason: str, artifact_key: str):
+        super().__init__(message)
+        self.reason = reason
+        self.artifact_key = artifact_key
 
 
 MAX_CACHE_ENTRIES = 256
@@ -90,8 +142,11 @@ def reset_cache_stats() -> None:
 
 
 def clear_memo() -> None:
-    """Drop the in-process memo (cached ctypes handles stay loaded)."""
+    """Drop the in-process memos — compiled handles and artifact trust
+    stamps re-resolve from disk, as a fresh process would (cached ctypes
+    handles stay loaded)."""
     _memo.clear()
+    _status_memo.clear()
 
 
 def cache_dir() -> str:
@@ -103,7 +158,13 @@ def cache_dir() -> str:
 
 
 def find_cc() -> Optional[str]:
-    """Absolute path of the system C compiler, or None."""
+    """Absolute path of the system C compiler, or None.
+
+    Fault site: the ``cc-missing`` fault makes this report no compiler, so
+    every consumer (execution ladder, differential leg, tuner, benchmarks)
+    exercises its no-toolchain degradation path."""
+    if faults.should_fire("cc-missing"):
+        return None
     return shutil.which(os.environ.get("CC") or "cc")
 
 
@@ -158,6 +219,89 @@ def artifact_key(procedure, options: Optional[CodegenOptions] = None, cc: Option
 
 
 # ---------------------------------------------------------------------------
+# Artifact trust metadata (the quarantine lifecycle)
+# ---------------------------------------------------------------------------
+
+STATUS_NEW = "new"
+STATUS_VALIDATED = "validated"
+STATUS_POISONED = "poisoned"
+
+_status_memo: Dict[str, dict] = {}  # meta path -> parsed sidecar
+
+
+def _meta_path(key: str, directory: Optional[str] = None) -> str:
+    return os.path.join(directory or cache_dir(), f"{key}.meta.json")
+
+
+def artifact_meta(key: str, directory: Optional[str] = None) -> dict:
+    """The trust sidecar of one artifact: at least ``{"status": ...}``, plus
+    ``"reason"`` for poisoned entries.  Missing or corrupt sidecars read as
+    ``new`` (never executed on this machine)."""
+    path = _meta_path(key, directory)
+    memo = _status_memo.get(path)
+    if memo is not None:
+        return dict(memo)
+    meta = {"status": STATUS_NEW}
+    try:
+        with open(path) as f:
+            data = json.load(f)
+        if isinstance(data, dict) and data.get("status") in (
+            STATUS_VALIDATED,
+            STATUS_POISONED,
+        ):
+            meta = data
+    except (OSError, json.JSONDecodeError):
+        pass
+    _status_memo[path] = dict(meta)
+    return meta
+
+
+def artifact_status(key: str, directory: Optional[str] = None) -> str:
+    """``"new"`` | ``"validated"`` | ``"poisoned"`` for one artifact key."""
+    return artifact_meta(key, directory)["status"]
+
+
+def _write_meta(key: str, meta: dict, directory: Optional[str] = None) -> None:
+    path = _meta_path(key, directory)
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    _write_atomic(path, json.dumps(meta, indent=2) + "\n")
+    _status_memo[path] = dict(meta)
+
+
+def mark_validated(key: str, directory: Optional[str] = None) -> None:
+    """Stamp the artifact trusted: its quarantined first run exited cleanly,
+    so all later calls may go in-process at full speed."""
+    _write_meta(key, {"status": STATUS_VALIDATED}, directory)
+
+
+def mark_poisoned(key: str, reason: str, directory: Optional[str] = None) -> None:
+    """Ban the artifact: its quarantined first run crashed or hung.  The
+    guard is never re-entered for a poisoned key — callers degrade straight
+    to the NumPy engine."""
+    _write_meta(key, {"status": STATUS_POISONED, "reason": reason}, directory)
+
+
+def clear_artifact_status(key: str, directory: Optional[str] = None) -> None:
+    """Forget an artifact's trust stamp (tests / benchmarks re-measuring the
+    quarantine path)."""
+    path = _meta_path(key, directory)
+    _status_memo.pop(path, None)
+    try:
+        os.unlink(path)
+    except OSError:
+        pass
+
+
+def _evict_meta(so_path: str) -> None:
+    path = so_path[: -len(".so")] + ".meta.json"
+    _status_memo.pop(path, None)
+    try:
+        os.unlink(path)
+    except OSError:
+        pass
+
+
+# ---------------------------------------------------------------------------
 # The callable
 # ---------------------------------------------------------------------------
 
@@ -172,12 +316,19 @@ _SCALAR_CTYPES = {
 
 @dataclass
 class NativeProc:
-    """A loaded, callable compiled kernel."""
+    """A loaded, callable compiled kernel.
+
+    ``key`` is the artifact's persistent cache key, which is also what the
+    trust metadata (:func:`artifact_status`) hangs off.  Calling the object
+    directly runs the machine code in-process with no guard; untrusted first
+    runs go through :func:`call_guarded`.
+    """
 
     name: str
     source: str
     argspec: Tuple[tuple, ...]
     so_path: str
+    key: str = ""
     _fn: object = None
 
     def __call__(self, values: Dict[str, object]) -> None:
@@ -222,11 +373,11 @@ class NativeProc:
 # ---------------------------------------------------------------------------
 
 
-def _load(unit: NativeUnit, so_path: str) -> NativeProc:
+def _load(unit: NativeUnit, so_path: str, key: str = "") -> NativeProc:
     lib = ctypes.CDLL(so_path)
     fn = getattr(lib, unit.name)
     fn.restype = None
-    return NativeProc(unit.name, unit.source, unit.argspec, so_path, fn)
+    return NativeProc(unit.name, unit.source, unit.argspec, so_path, key, fn)
 
 
 def _build(cc: str, options: CodegenOptions, c_path: str, so_path: str) -> None:
@@ -234,11 +385,35 @@ def _build(cc: str, options: CodegenOptions, c_path: str, so_path: str) -> None:
     os.close(fd)
     cmd = [cc, *options.cflags(), "-fPIC", "-shared", "-o", tmp_so, c_path, "-lm"]
     try:
-        proc = subprocess.run(cmd, capture_output=True, text=True, timeout=300)
+        # spawning cc can fail transiently (resource pressure, racing PATH
+        # changes); a nonzero exit is a deterministic compile error and is
+        # NOT retried.  Fault site: cc-transient.
+        def invoke():
+            if faults.should_fire("cc-transient"):
+                raise OSError("injected transient cc failure (fault: cc-transient)")
+            return subprocess.run(cmd, capture_output=True, text=True, timeout=300)
+
+        try:
+            proc = with_retry(invoke, label="cc-invoke")
+        except OSError as exc:
+            raise NativeUnavailableError(f"cannot invoke {cc}: {exc}") from exc
         if proc.returncode != 0:
             tail = "\n".join(proc.stderr.splitlines()[-12:])
             raise NativeUnavailableError(f"cc failed for {os.path.basename(c_path)}:\n{tail}")
-        os.replace(tmp_so, so_path)  # atomic publish; readers never see a torn .so
+
+        # atomic publish; readers never see a torn .so.  The rename can lose
+        # a transient race on some filesystems.  Fault site: publish-race.
+        def publish():
+            if faults.should_fire("publish-race"):
+                raise OSError("injected cache publish race (fault: publish-race)")
+            os.replace(tmp_so, so_path)
+
+        try:
+            with_retry(publish, label="artifact-publish")
+        except OSError as exc:
+            raise NativeUnavailableError(
+                f"cannot publish artifact {os.path.basename(so_path)}: {exc}"
+            ) from exc
     finally:
         if os.path.exists(tmp_so):
             os.unlink(tmp_so)
@@ -272,6 +447,7 @@ def _prune(directory: str, keep: int) -> None:
                 os.unlink(victim)
             except OSError:
                 pass
+        _evict_meta(e.path)
         _stats["pruned"] += 1
 
 
@@ -290,7 +466,9 @@ def compile_native(
     options = options or CodegenOptions()
     cc = find_cc()
     if cc is None:
-        raise NativeUnavailableError("no C compiler on PATH (set $CC or install cc)")
+        err = NativeUnavailableError("no C compiler on PATH (set $CC or install cc)")
+        err.reason = "cc-missing"
+        raise err
 
     unit = emit_unit(root, options)  # may raise CodegenError
     key = artifact_key(root, options, cc)
@@ -304,27 +482,102 @@ def compile_native(
     so_path = os.path.join(directory, f"{key}.so")
     c_path = os.path.join(directory, f"{key}.c")
 
+    # a poisoned artifact is never even dlopen'ed again (loading runs its
+    # init sections — that is already execution)
+    meta = artifact_meta(key, directory)
+    if meta["status"] == STATUS_POISONED:
+        raise ArtifactPoisonedError(
+            f"artifact {key} is poisoned on this machine "
+            f"({meta.get('reason', 'unknown reason')})",
+            reason="poisoned-artifact",
+            artifact_key=key,
+        )
+
     proc = None
     if os.path.exists(so_path):
         try:
-            proc = _load(unit, so_path)
+            # fault site: stand in for a truncated/garbled .so on disk.  The
+            # corruption is simulated as the load failure it causes (dlopen
+            # caches by path in-process, so physically corrupting the file
+            # cannot fail a re-load of an already-mapped artifact).
+            if faults.should_fire("artifact-corrupt"):
+                raise OSError("injected corrupt artifact (fault: artifact-corrupt)")
+            proc = _load(unit, so_path, key)
             _stats["disk_hits"] += 1
             os.utime(so_path)  # LRU touch
         except OSError:
-            # corrupt or truncated artifact: evict and rebuild
+            # corrupt or truncated artifact: evict and rebuild.  The trust
+            # stamp goes with it — a rebuilt binary re-enters quarantine.
             _stats["corrupt_evicted"] += 1
             try:
                 os.unlink(so_path)
             except OSError:
                 pass
+            _evict_meta(so_path)
     if proc is None:
         _write_atomic(c_path, unit.source)
         _build(cc, options, c_path, so_path)
         _stats["compiles"] += 1
         try:
-            proc = _load(unit, so_path)
+            proc = _load(unit, so_path, key)
         except OSError as exc:
             raise NativeUnavailableError(f"cannot load freshly built {so_path}: {exc}") from exc
         _prune(directory, MAX_CACHE_ENTRIES)
     _memo[key] = proc
     return proc
+
+
+# ---------------------------------------------------------------------------
+# Guarded execution (the run_proc entry point)
+# ---------------------------------------------------------------------------
+
+
+def call_guarded(
+    kernel: NativeProc,
+    values: Dict[str, object],
+    timeout_s: Optional[float] = None,
+    directory: Optional[str] = None,
+) -> None:
+    """Execute ``kernel`` with first-run quarantine.
+
+    * ``poisoned`` artifacts raise :class:`ArtifactPoisonedError` immediately
+      — the guard is never re-entered for a known-bad kernel;
+    * ``validated`` artifacts run in-process at full speed, no guard;
+    * ``new`` artifacts first run inside the forked subprocess guard
+      (:func:`repro.guard.quarantine.run_guarded`).  A clean exit stamps the
+      artifact validated and re-executes in-process (the child's writes were
+      copy-on-write and discarded); a signal death or watchdog timeout
+      poisons it and raises :class:`ArtifactPoisonedError`; a Python-level
+      exception in the child is deterministic, leaves the status untouched,
+      and is re-raised as :class:`NativeRunError`.
+
+    ``timeout_s`` overrides the ``REPRO_GUARD_TIMEOUT`` watchdog; setting
+    ``REPRO_GUARD=off`` skips the quarantine entirely (no validation stamp
+    is written — the next guarded-mode call will quarantine as usual).
+    """
+    meta = artifact_meta(kernel.key, directory)
+    if meta["status"] == STATUS_POISONED:
+        raise ArtifactPoisonedError(
+            f"{kernel.name}: artifact {kernel.key} is poisoned on this machine "
+            f"({meta.get('reason', 'unknown reason')})",
+            reason="poisoned-artifact",
+            artifact_key=kernel.key,
+        )
+    if meta["status"] != STATUS_VALIDATED and quarantine.guard_enabled():
+        report = quarantine.run_guarded(lambda: kernel(values), timeout_s=timeout_s)
+        if report.status == "ok":
+            mark_validated(kernel.key, directory)
+        elif report.status == "error":
+            raise NativeRunError(
+                f"{kernel.name}: guarded first run raised: {report.error}"
+            )
+        else:
+            reason = "kernel-hang" if report.status == "timeout" else "kernel-segfault"
+            mark_poisoned(kernel.key, f"{reason}: {report.error}", directory)
+            raise ArtifactPoisonedError(
+                f"{kernel.name}: quarantined first run failed ({report.error}); "
+                f"artifact {kernel.key} poisoned",
+                reason=reason,
+                artifact_key=kernel.key,
+            )
+    kernel(values)

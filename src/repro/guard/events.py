@@ -1,0 +1,100 @@
+"""Structured degradation records.
+
+Every time the execution stack silently moves down the backend ladder
+(``c → compiled → interp``) it records a :class:`FallbackEvent` here instead
+of (as before this subsystem existed) emitting a one-shot
+:class:`RuntimeWarning`.  Events carry *why* (a stable reason string), *where*
+(the ladder stage), and *what* (procedure name, artifact cache key), so a
+tuner sweep or a long-lived service can ask "how degraded am I?" through
+:func:`repro.interp.exec_stats` rather than scraping warning text.
+
+Reason strings are stable identifiers, not prose — the interesting ones:
+
+* ``cc-missing`` / ``native-unavailable`` — no toolchain, or compile/load
+  failed
+* ``codegen-declined`` — the procedure cannot be lowered to C
+* ``kernel-segfault`` / ``kernel-hang`` — the quarantined first run died or
+  timed out (the artifact is now poisoned)
+* ``poisoned-artifact`` — a previously poisoned artifact was skipped without
+  re-entering the guard
+* ``native-run-error`` — the compiled kernel rejected its arguments
+* ``compile-error`` — the NumPy engine could not compile; the tree
+  interpreter took over
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional
+
+__all__ = [
+    "FallbackEvent",
+    "record_fallback",
+    "fallback_events",
+    "fallback_counts",
+    "clear_fallback_events",
+    "MAX_EVENTS",
+]
+
+#: ring-buffer bound — a long-lived process must not leak memory recording
+#: the same degradation forever
+MAX_EVENTS = 512
+
+
+@dataclass(frozen=True)
+class FallbackEvent:
+    """One step down the backend degradation ladder."""
+
+    proc: str  #: procedure name
+    stage: str  #: e.g. ``"c->compiled"``, ``"compiled->interp"``
+    reason: str  #: stable reason identifier (see module docstring)
+    artifact_key: Optional[str] = None  #: native cache key, when one exists
+    detail: str = field(default="", compare=False)  #: human-readable context
+
+    def to_dict(self) -> dict:
+        return {
+            "proc": self.proc,
+            "stage": self.stage,
+            "reason": self.reason,
+            "artifact_key": self.artifact_key,
+            "detail": self.detail,
+        }
+
+
+_events: Deque[FallbackEvent] = deque(maxlen=MAX_EVENTS)
+_counts: Dict[str, int] = {}
+
+
+def record_fallback(
+    proc: str,
+    stage: str,
+    reason: str,
+    artifact_key: Optional[str] = None,
+    detail: str = "",
+) -> FallbackEvent:
+    """Record one degradation step and return the event."""
+    ev = FallbackEvent(proc, stage, reason, artifact_key, detail)
+    _events.append(ev)
+    _counts[reason] = _counts.get(reason, 0) + 1
+    return ev
+
+
+def fallback_events(reason: Optional[str] = None) -> List[FallbackEvent]:
+    """The recorded events, newest last (optionally filtered by reason).
+    Only the most recent :data:`MAX_EVENTS` are kept; :func:`fallback_counts`
+    keeps exact totals."""
+    if reason is None:
+        return list(_events)
+    return [e for e in _events if e.reason == reason]
+
+
+def fallback_counts() -> Dict[str, int]:
+    """Exact per-reason totals since the last :func:`clear_fallback_events`
+    (not bounded by the event ring buffer)."""
+    return dict(_counts)
+
+
+def clear_fallback_events() -> None:
+    _events.clear()
+    _counts.clear()

@@ -1,0 +1,154 @@
+"""Named fault injection at real call sites.
+
+The execution stack claims to survive a list of concrete failures — a missing
+or flaky C compiler, a corrupt cache artifact, a miscompiled kernel that
+segfaults or hangs, a tuner worker that dies, a lost race publishing into the
+artifact cache.  This module makes each of those failures *triggerable on
+demand* so the claim is testable: production code calls :func:`should_fire`
+at the exact point where the real failure would occur, and tests (or a chaos
+CI job) arm the fault by name.
+
+Two arming mechanisms compose:
+
+* :func:`inject` — a context manager for tests.  ``inject("cc-transient",
+  times=1)`` fires the fault once and then disarms, which is how transient
+  failures are modelled.  Injected state is plain module state, so a forked
+  guard child inherits it (deliberate: the ``kernel-*`` faults fire inside
+  the quarantine child).
+* ``REPRO_FAULTS`` — a comma-separated list of fault names in the
+  environment, for whole-process chaos runs (``REPRO_FAULTS=cc-missing
+  pytest``).  Environment faults are always armed and never consumed.
+
+Unknown fault names are rejected loudly (:class:`FaultError` lists the valid
+names) — a typo in a chaos configuration must not silently test nothing.
+
+The fault names and the sites that honour them:
+
+=================== =========================================================
+``cc-missing``      :func:`repro.backend.native.find_cc` reports no compiler
+``cc-transient``    the ``cc`` subprocess invocation raises :class:`OSError`
+                    (retried with backoff; permanent arming exhausts the
+                    retries and degrades to the NumPy engine)
+``artifact-corrupt`` a cached ``.so`` is truncated just before it is loaded
+                    (exercises evict-and-rebuild)
+``kernel-segfault`` the quarantined first run dies with SIGSEGV
+``kernel-hang``     the quarantined first run sleeps past the watchdog
+``worker-crash``    a tuner evaluation worker calls ``os._exit`` mid-task
+``publish-race``    publishing an artifact into the cache raises
+                    :class:`OSError` (retried with backoff)
+=================== =========================================================
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Dict, FrozenSet, Optional
+
+from ..errors import ExoError
+
+__all__ = [
+    "VALID_FAULTS",
+    "FaultError",
+    "inject",
+    "should_fire",
+    "is_active",
+    "active_faults",
+    "env_faults",
+]
+
+ENV_VAR = "REPRO_FAULTS"
+
+VALID_FAULTS = frozenset(
+    {
+        "cc-missing",
+        "cc-transient",
+        "artifact-corrupt",
+        "kernel-segfault",
+        "kernel-hang",
+        "worker-crash",
+        "publish-race",
+    }
+)
+
+
+class FaultError(ExoError):
+    """A fault name is not one the execution stack knows how to trigger."""
+
+
+def _check_name(name: str) -> str:
+    if name not in VALID_FAULTS:
+        raise FaultError(
+            f"unknown fault {name!r}; valid faults are {', '.join(sorted(VALID_FAULTS))}"
+        )
+    return name
+
+
+#: injected fault -> remaining fire count (None = unlimited while armed)
+_injected: Dict[str, Optional[int]] = {}
+
+_env_memo: Optional[tuple] = None  # (raw string, frozenset) cache
+
+
+def env_faults() -> FrozenSet[str]:
+    """The faults armed through ``REPRO_FAULTS`` (validated, memoised per
+    distinct value of the variable)."""
+    global _env_memo
+    raw = os.environ.get(ENV_VAR, "")
+    if _env_memo is not None and _env_memo[0] == raw:
+        return _env_memo[1]
+    names = frozenset(_check_name(n.strip()) for n in raw.split(",") if n.strip())
+    _env_memo = (raw, names)
+    return names
+
+
+def is_active(name: str) -> bool:
+    """Is the fault currently armed (without consuming a fire)?"""
+    _check_name(name)
+    return name in env_faults() or name in _injected
+
+
+def active_faults() -> FrozenSet[str]:
+    """Every currently armed fault (environment + injected)."""
+    return env_faults() | frozenset(_injected)
+
+
+def should_fire(name: str) -> bool:
+    """Called by production code at the fault's real site.
+
+    Environment-armed faults always fire.  Injected faults fire until their
+    ``times`` budget is spent.
+    """
+    _check_name(name)
+    if name in env_faults():
+        return True
+    remaining = _injected.get(name)
+    if name not in _injected:
+        return False
+    if remaining is None:
+        return True
+    if remaining <= 0:
+        return False
+    _injected[name] = remaining - 1
+    return True
+
+
+@contextmanager
+def inject(name: str, times: Optional[int] = None):
+    """Arm ``name`` for the dynamic extent of the block.
+
+    ``times`` bounds how often the fault fires (``None`` = every time the
+    site is reached while armed).  Nesting the same fault restores the outer
+    arming on exit.
+    """
+    _check_name(name)
+    had = name in _injected
+    prev = _injected.get(name)
+    _injected[name] = times
+    try:
+        yield
+    finally:
+        if had:
+            _injected[name] = prev
+        else:
+            _injected.pop(name, None)

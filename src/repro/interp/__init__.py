@@ -4,17 +4,24 @@ Two backends share one semantics: the tree-walking reference interpreter
 (:mod:`repro.interp.interpreter`) and the NumPy compiled execution engine
 (:mod:`repro.interp.compile`).  ``run_proc``/``check_equiv`` default to the
 compiled engine with automatic fallback to the interpreter; pass
-``backend="interp"`` for the reference semantics or ``backend="differential"``
-to cross-check both.
+``backend="interp"`` for the reference semantics, ``backend="c"`` for native
+execution (first runs quarantined by :mod:`repro.guard`), or
+``backend="differential"`` to cross-check.  Degradations down the
+``c → compiled → interp`` ladder are recorded as structured fallback events
+queryable via :func:`exec_stats`.
 """
 
 from .compile import CompileError, CompiledProc, clear_compile_cache, compile_proc, compiled_source
 from .interpreter import (
+    VALID_BACKENDS,
     DifferentialError,
     InterpError,
     check_equiv,
+    clear_exec_stats,
     default_backend,
+    exec_stats,
     make_random_args,
+    resolve_backend,
     run_proc,
     set_default_backend,
 )
@@ -32,4 +39,8 @@ __all__ = [
     "clear_compile_cache",
     "default_backend",
     "set_default_backend",
+    "exec_stats",
+    "clear_exec_stats",
+    "VALID_BACKENDS",
+    "resolve_backend",
 ]

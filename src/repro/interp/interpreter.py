@@ -22,16 +22,29 @@ argument:
 * ``"c"`` — the native backend (:mod:`repro.backend.native`): the procedure
   is lowered to C with real AVX2/AVX-512 intrinsics, compiled with the system
   ``cc`` (artifacts persist in an on-disk cache) and called through
-  ``ctypes``.  When the toolchain is missing or the procedure cannot be
-  lowered, execution degrades to ``"compiled"`` with a one-time warning;
+  ``ctypes``.  An artifact's *first* run on this machine happens inside a
+  forked quarantine guard (:mod:`repro.guard`): a crash or hang poisons the
+  artifact instead of killing this process, a clean run validates it so
+  later calls go in-process at full speed;
 * ``"differential"`` — run the engines on identical inputs and raise
   :class:`DifferentialError` if any tensor argument diverges beyond
   ``check_equiv`` tolerances.  The compiled engine is cross-checked against
   this interpreter always, and the native C backend joins as a third leg
   whenever a toolchain is available.
 
+Degradation ladder
+------------------
+Execution degrades ``c → compiled → interp``: a missing toolchain, an
+unlowerable construct, a poisoned artifact, or a quarantine failure drops
+``"c"`` to the compiled NumPy engine, and a procedure the NumPy engine
+cannot compile drops to this tree interpreter.  Every step down the ladder
+is recorded as a structured :class:`~repro.guard.events.FallbackEvent`
+(reason, stage, artifact key) queryable through :func:`exec_stats` — not a
+warning to scrape.
+
 The default can be overridden with the ``REPRO_EXEC_BACKEND`` environment
-variable or :func:`set_default_backend`.
+variable or :func:`set_default_backend`; both reject invalid names with the
+list of valid backends up front.
 
 Out-of-bounds accesses — including *negative* indices, which NumPy would
 silently wrap — raise :class:`InterpError` under every backend.
@@ -60,6 +73,10 @@ __all__ = [
     "check_equiv",
     "set_default_backend",
     "default_backend",
+    "exec_stats",
+    "clear_exec_stats",
+    "VALID_BACKENDS",
+    "resolve_backend",
 ]
 
 
@@ -71,18 +88,39 @@ class DifferentialError(InterpError):
     """The compiled engine and the tree interpreter disagreed on an output."""
 
 
-_BACKENDS = ("compiled", "interp", "differential", "c")
-_default_backend = os.environ.get("REPRO_EXEC_BACKEND", "compiled")
+VALID_BACKENDS = ("compiled", "interp", "differential", "c")
+_BACKENDS = VALID_BACKENDS
+_default_backend: Optional[str] = None  # set_default_backend overrides the env
+
+
+def resolve_backend(backend: Optional[str], source: str = "backend=") -> str:
+    """Validate a backend name up front, naming where the bad value came from
+    and listing the valid backends — instead of failing deep in dispatch."""
+    if backend is None:
+        return default_backend()
+    if backend not in _BACKENDS:
+        raise InterpError(
+            f"invalid execution backend {backend!r} (from {source}); "
+            f"valid backends: {', '.join(_BACKENDS)}"
+        )
+    return backend
 
 
 def default_backend() -> str:
-    return _default_backend
+    if _default_backend is not None:
+        return _default_backend
+    env = os.environ.get("REPRO_EXEC_BACKEND")
+    if not env:
+        return "compiled"
+    return resolve_backend(env, source="the REPRO_EXEC_BACKEND environment variable")
 
 
 def set_default_backend(name: str) -> None:
     """Set the process-wide default execution backend (see module docstring)."""
     if name not in _BACKENDS:
-        raise ValueError(f"unknown backend {name!r}; expected one of {_BACKENDS}")
+        raise ValueError(
+            f"invalid execution backend {name!r}; valid backends: {', '.join(_BACKENDS)}"
+        )
     global _default_backend
     _default_backend = name
 
@@ -285,32 +323,60 @@ def _run_compiled(root, env: Dict[Sym, object], config_state, inline: Optional[b
 
 
 def _run_native(root, values: Dict[str, object]) -> None:
-    """Execute through the native C backend (compile-and-cache, then call).
+    """Execute through the native C backend with first-run quarantine
+    (compile-and-cache, guard the first run, then call in-process).
 
-    Raises CodegenError / NativeError when the procedure cannot be lowered or
-    no toolchain is available — callers decide how to degrade."""
-    from ..backend.native import compile_native
+    Raises CodegenError / NativeError (incl. ArtifactPoisonedError) when the
+    procedure cannot be lowered, no toolchain is available, or the artifact
+    failed its quarantine — callers decide how to degrade."""
+    from ..backend.native import call_guarded, compile_native
 
-    compile_native(root)(values)
-
-
-_native_fallback_warned = False
+    call_guarded(compile_native(root), values)
 
 
-def _warn_native_fallback(root, exc) -> None:
-    global _native_fallback_warned
-    if _native_fallback_warned:
-        return
-    _native_fallback_warned = True
-    import warnings
+def _fallback_reason(exc) -> str:
+    """The stable reason identifier a degradation event records for ``exc``."""
+    reason = getattr(exc, "reason", None)
+    if reason:
+        return reason
+    from ..errors import CodegenError
 
-    warnings.warn(
-        f"native C backend unavailable for {root.name!r} "
-        f"({type(exc).__name__}: {exc}); falling back to the compiled NumPy "
-        "engine (this warning is shown once per process)",
-        RuntimeWarning,
-        stacklevel=3,
+    if isinstance(exc, CodegenError):
+        return "codegen-declined"
+    return "native-unavailable"
+
+
+def _record_native_fallback(root, exc, stage: str = "c->compiled") -> None:
+    from ..guard import record_fallback
+
+    record_fallback(
+        root.name,
+        stage,
+        _fallback_reason(exc),
+        artifact_key=getattr(exc, "artifact_key", None),
+        detail=f"{type(exc).__name__}: {exc}",
     )
+
+
+def exec_stats() -> Dict[str, object]:
+    """Structured degradation telemetry of this process: per-reason fallback
+    counts, the recent :class:`~repro.guard.events.FallbackEvent` records
+    (as dicts), and the quarantine-guard counters."""
+    from ..guard import fallback_counts, fallback_events, guard_stats
+
+    return {
+        "fallbacks": fallback_counts(),
+        "events": [e.to_dict() for e in fallback_events()],
+        "guard": guard_stats(),
+    }
+
+
+def clear_exec_stats() -> None:
+    """Reset the fallback-event log and guard counters (tests, benchmarks)."""
+    from ..guard import clear_fallback_events, reset_guard_stats
+
+    clear_fallback_events()
+    reset_guard_stats()
 
 
 def run_proc(
@@ -334,10 +400,7 @@ def run_proc(
     cross-procedure inliner on or off (``None`` defers to the
     ``REPRO_EXEC_INLINE`` environment variable, default on).
     """
-    if backend is None:
-        backend = _default_backend
-    if backend not in _BACKENDS:
-        raise InterpError(f"unknown backend {backend!r}; expected one of {_BACKENDS}")
+    backend = resolve_backend(backend)
     root = procedure._root if hasattr(procedure, "_root") else procedure
     env: Dict[Sym, object] = {}
     names = [a.name.name for a in root.args]
@@ -373,10 +436,11 @@ def run_proc(
             _run_native(root, values)
             return {n: values[n] for n in names}
         except (CodegenError, NativeError) as exc:
-            # graceful degrade: nothing has executed yet (all failures happen
-            # before the kernel is called), so the compiled engine can take
-            # over on the same buffers
-            _warn_native_fallback(root, exc)
+            # graceful degrade down the ladder: nothing has executed in this
+            # process (failures happen before the in-process call, and a
+            # quarantined child's writes are copy-on-write), so the compiled
+            # engine can take over on the same buffers
+            _record_native_fallback(root, exc)
             backend = "compiled"
 
     if backend == "differential":
@@ -406,6 +470,11 @@ def run_proc(
             raise DifferentialError(
                 f"{root.name}: compiled engine unavailable for differential check: {exc}"
             ) from exc
+        from ..guard import record_fallback
+
+        record_fallback(
+            root.name, "compiled->interp", "compile-error", detail=str(exc)
+        )
         interp.exec_proc(root, env)
 
     if backend == "differential":
@@ -436,8 +505,8 @@ def run_proc(
 
         try:
             _run_native(root, c_values)
-        except (CodegenError, NativeError):
-            pass
+        except (CodegenError, NativeError) as exc:
+            _record_native_fallback(root, exc, stage="differential-c-leg")
         else:
             for a in root.args:
                 got = c_values[a.name.name]

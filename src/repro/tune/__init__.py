@@ -18,7 +18,7 @@ machine)`` warm-starts the next tune — across process restarts.
 See ``docs/autotuning.md`` for the full guide.
 """
 
-from .results import Leaderboard, board_key, machine_id
+from .results import POISONED_STATUSES, Leaderboard, board_key, config_key, machine_id
 from .runner import Measurement, ScheduleRunner, evaluate_parallel, evaluate_spec, split_prefix
 from .space import (
     GridSampler,
@@ -45,6 +45,8 @@ __all__ = [
     "Leaderboard",
     "board_key",
     "machine_id",
+    "config_key",
+    "POISONED_STATUSES",
     "Tuner",
     "TuneResult",
     "autotune",

@@ -17,23 +17,44 @@ converges instead of starting blind.
 
 The on-disk format is one JSON object ``{"version": 1, "boards": {key:
 board}}`` where each board holds per-config best times plus the current
-champion.  Corrupt or future-versioned files raise :class:`TuneError` rather
-than silently starting an empty board.
+champion.  A corrupt or future-versioned file is *quarantined* — renamed to
+``<path>.corrupt-<digest>`` with a warning — and the board starts fresh: a
+truncated write from a killed tune run must not brick every future tune, and
+the renamed file preserves the evidence instead of silently clobbering it.
+
+Crash/timeout measurements are poison-listed (:data:`POISONED_STATUSES`,
+:meth:`Leaderboard.poisoned`): a warm-started re-tune skips configs whose
+best-known outcome was killing or wedging a worker, so one bad knob corner is
+paid for exactly once per machine.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import platform
-from typing import Dict, List, Optional
+import warnings
+from typing import Dict, List, Optional, Set
 
 from ..api.trace import state_hash
 from ..core.procedure import Procedure
 from .runner import Measurement
 from .space import Config, TuneError
 
-__all__ = ["Leaderboard", "machine_id", "board_key"]
+__all__ = [
+    "Leaderboard",
+    "machine_id",
+    "board_key",
+    "config_key",
+    "POISONED_STATUSES",
+]
+
+#: Measurement statuses that poison-list a config: outcomes where the
+#: candidate killed or wedged its worker, which a re-tune must never repeat.
+#: A plain ``"error"`` (schedule refused, compile failed) stays re-tryable —
+#: it is cheap and deterministic, not dangerous.
+POISONED_STATUSES = frozenset({"crash", "timeout"})
 
 
 def _cpu_model() -> str:
@@ -63,8 +84,13 @@ def board_key(proc: Procedure, schedule, machine: Optional[str] = None) -> str:
     return f"{state_hash(proc)}/{schedule.fingerprint()}/{machine or machine_id()}"
 
 
-def _config_key(config: Config) -> str:
+def config_key(config: Config) -> str:
+    """The canonical string key for one knob environment (sorted JSON) —
+    the key :meth:`Leaderboard.poisoned` results are expressed in."""
     return json.dumps(config, sort_keys=True, default=repr)
+
+
+_config_key = config_key  # backward-compatible alias
 
 
 _VERSION = 1
@@ -88,15 +114,43 @@ class Leaderboard:
 
     def load(self) -> None:
         try:
-            with open(self.path) as f:
-                data = json.load(f)
-        except (OSError, json.JSONDecodeError) as err:
-            raise TuneError(f"leaderboard {self.path!r} is unreadable: {err}") from err
-        if not isinstance(data, dict) or data.get("version") != _VERSION:
-            raise TuneError(
-                f"leaderboard {self.path!r}: unsupported version {data.get('version')!r}"
+            with open(self.path, "rb") as f:
+                raw = f.read()
+        except OSError as err:
+            # can't even read it — nothing to preserve, start fresh
+            warnings.warn(
+                f"leaderboard {self.path!r} is unreadable ({err}); starting a fresh board",
+                RuntimeWarning,
+                stacklevel=2,
             )
+            self.boards = {}
+            return
+        try:
+            data = json.loads(raw)
+            if not isinstance(data, dict) or data.get("version") != _VERSION:
+                raise ValueError(f"unsupported version {data.get('version') if isinstance(data, dict) else None!r}")
+        except (json.JSONDecodeError, ValueError) as err:
+            self._quarantine(raw, str(err))
+            self.boards = {}
+            return
         self.boards = data.get("boards", {})
+
+    def _quarantine(self, raw: bytes, why: str) -> None:
+        """Move a corrupt/foreign leaderboard file aside (named by content
+        digest, so repeated loads of the same corruption collapse to one
+        quarantine file) and warn; never raise."""
+        digest = hashlib.sha256(raw).hexdigest()[:8]
+        dest = f"{self.path}.corrupt-{digest}"
+        try:
+            os.replace(self.path, dest)
+            where = f"moved to {dest!r}"
+        except OSError as err:
+            where = f"could not be moved aside ({err})"
+        warnings.warn(
+            f"leaderboard {self.path!r} is corrupt ({why}); {where}; starting a fresh board",
+            RuntimeWarning,
+            stacklevel=3,
+        )
 
     def save(self) -> None:
         if self.path is None:
@@ -118,12 +172,16 @@ class Leaderboard:
     def record(self, key: str, measurement: Measurement) -> None:
         """Fold one measurement into the board: per-config minimum time,
         champion update.  Failed measurements are kept (with their error) so
-        a re-tune can see which corners of the space are infeasible."""
+        a re-tune can see which corners of the space are infeasible.  A
+        crash/timeout overrides even a previous ``ok`` for the same config —
+        a config that just killed a worker must be poison-listed regardless
+        of its history — and evicts it from the championship if needed."""
         board = self._board(key)
-        ck = _config_key(measurement.config)
+        ck = config_key(measurement.config)
         prev = board["entries"].get(ck)
         entry = measurement.to_dict()
-        if prev is not None and prev.get("status") == "ok":
+        poisoning = measurement.status in POISONED_STATUSES
+        if prev is not None and prev.get("status") == "ok" and not poisoning:
             if not measurement.ok or prev["time_s"] <= measurement.time_s:
                 entry = prev
         board["entries"][ck] = entry
@@ -132,6 +190,12 @@ class Leaderboard:
             best is None or best.get("time_s") is None or entry["time_s"] < best["time_s"]
         ):
             board["best"] = dict(entry)
+        elif poisoning and best is not None and config_key(best.get("config", {})) == ck:
+            ok = [
+                e for e in board["entries"].values()
+                if e.get("status") == "ok" and e.get("time_s") is not None
+            ]
+            board["best"] = dict(min(ok, key=lambda e: e["time_s"])) if ok else None
 
     def record_many(self, key: str, measurements: List[Measurement]) -> None:
         for m in measurements:
@@ -148,6 +212,21 @@ class Leaderboard:
         board = self.boards.get(key)
         return [dict(e) for e in board["entries"].values()] if board else []
 
+    def poisoned(self, key: str) -> Set[str]:
+        """The :func:`config_key` strings whose latest outcome was a crash or
+        timeout — configs a warm-started re-tune must skip."""
+        board = self.boards.get(key)
+        if not board:
+            return set()
+        return {
+            ck
+            for ck, e in board["entries"].items()
+            if e.get("status") in POISONED_STATUSES
+        }
+
+    def is_poisoned(self, key: str, config: Config) -> bool:
+        return config_key(config) in self.poisoned(key)
+
     def stats(self, key: str) -> dict:
         entries = self.entries(key)
         ok = [e for e in entries if e.get("status") == "ok"]
@@ -155,6 +234,7 @@ class Leaderboard:
             "configs": len(entries),
             "ok": len(ok),
             "errors": len(entries) - len(ok),
+            "poisoned": len(self.poisoned(key)),
             "best": self.best(key),
         }
 

@@ -23,17 +23,31 @@ measurement ``status="error"`` so a search can prune the candidate, but a
 :class:`~repro.api.knobs.KnobError` always propagates: a mis-configured sweep
 must surface, not score as a slow candidate.
 
+Hardening: a per-candidate wall-clock timeout (``timeout_s``) bounds how long
+one pathological config can stall a sweep — the candidate scores
+``status="timeout"`` and the search moves on.  The timeout uses
+``SIGALRM``/``setitimer`` and therefore only engages on the main thread of a
+Unix process; elsewhere it degrades to no limit (worker processes run
+candidates on their main thread, so ``evaluate_parallel`` sweeps are always
+covered).
+
 Process-level isolation (``evaluate_spec`` / ``evaluate_parallel``) runs
 candidates in worker processes via :mod:`concurrent.futures`: the candidate
 is described by an importable *spec* (dotted references to the procedure and
 schedule factories plus JSON-able arguments), so a crashing or pathological
 candidate cannot take the tuner down and independent candidates time on
-separate cores.
+separate cores.  A candidate that kills its worker outright scores
+``status="crash"`` — and :class:`~repro.tune.results.Leaderboard` poison-lists
+crash/timeout configs so a warm-started re-tune never re-runs them.
 """
 
 from __future__ import annotations
 
+import os
+import signal
+import threading
 import time
+from contextlib import contextmanager
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
@@ -43,7 +57,8 @@ from ..api.knobs import KnobError
 from ..api.schedule import Schedule, Seq
 from ..core.procedure import Procedure
 from ..errors import InvalidCursorError, SchedulingError
-from ..interp import compile_proc, make_random_args, run_proc
+from ..guard import faults
+from ..interp import compile_proc, make_random_args, resolve_backend, run_proc
 from .space import Config, TuneError
 
 __all__ = [
@@ -58,9 +73,13 @@ __all__ = [
 class Measurement:
     """The outcome of evaluating one candidate config.
 
-    ``status`` is ``"ok"`` (timed), or ``"error"`` (the schedule refused this
-    config — recoverable, the search prunes it).  ``score`` is the sort key:
-    the best wall-clock seconds, or ``inf`` for failed candidates.
+    ``status`` is ``"ok"`` (timed), ``"error"`` (the schedule or engine
+    refused this config — recoverable, the search prunes it), ``"timeout"``
+    (the per-candidate wall-clock limit expired), or ``"crash"`` (the
+    candidate killed its worker process).  ``score`` is the sort key: the
+    best wall-clock seconds, or ``inf`` for failed candidates.  Crash and
+    timeout outcomes are *poison-listed* by the leaderboard so warm-started
+    re-tunes skip them.
     """
 
     __slots__ = ("config", "time_s", "repeats", "status", "error", "compile_stats")
@@ -137,6 +156,42 @@ def split_prefix(schedule: Schedule, swept: Sequence[str]):
     return Seq(schedule.steps[:cut]), Seq(schedule.steps[cut:])
 
 
+class _CandidateTimeout(BaseException):
+    """Raised by the SIGALRM handler when a candidate's wall-clock budget
+    expires.  Deliberately a ``BaseException``: a broad ``except Exception``
+    around the timed region must not convert a timeout into ``"error"``."""
+
+
+@contextmanager
+def _deadline(timeout_s: Optional[float]):
+    """Arm a wall-clock alarm around a candidate evaluation.
+
+    Only effective on the main thread of a Unix process (``SIGALRM`` cannot
+    be delivered elsewhere); otherwise the block runs unbounded.  Yields
+    whether the alarm is actually armed.
+    """
+    usable = (
+        timeout_s is not None
+        and timeout_s > 0
+        and hasattr(signal, "setitimer")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not usable:
+        yield False
+        return
+
+    def _expire(signum, frame):
+        raise _CandidateTimeout()
+
+    prev = signal.signal(signal.SIGALRM, _expire)
+    signal.setitimer(signal.ITIMER_REAL, timeout_s)
+    try:
+        yield True
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, prev)
+
+
 def _restrict(config: Optional[Config], schedule: Schedule) -> Config:
     """The subset of ``config`` naming knobs this (sub-)schedule declares —
     ``Schedule.apply`` rejects unknown names, which is right for user calls
@@ -150,7 +205,9 @@ class ScheduleRunner:
 
     ``size_env`` supplies the problem sizes the timing runs at; ``repeats``
     is the default best-of count; ``swept`` (usually the space's param names)
-    enables the shared-prefix split described in the module docstring.
+    enables the shared-prefix split described in the module docstring;
+    ``timeout_s`` bounds one candidate's compile+time wall clock (main
+    thread only — see :func:`_deadline`).
     """
 
     def __init__(
@@ -164,11 +221,18 @@ class ScheduleRunner:
         cache: Optional[ReplayCache] = None,
         swept: Optional[Sequence[str]] = None,
         backend: Optional[str] = None,
+        timeout_s: Optional[float] = None,
     ):
         if not isinstance(proc, Procedure):
             raise TuneError(f"ScheduleRunner: expected a Procedure, got {type(proc).__name__}")
         if not isinstance(schedule, Schedule):
             raise TuneError(f"ScheduleRunner: expected a Schedule, got {type(schedule).__name__}")
+        if backend is not None:
+            # fail the sweep setup, not its hundredth candidate
+            resolve_backend(backend, source="ScheduleRunner(backend=...)")
+        if timeout_s is not None and timeout_s <= 0:
+            raise TuneError(f"ScheduleRunner: timeout_s must be positive, got {timeout_s!r}")
+        self.timeout_s = timeout_s
         self.proc = proc
         self.schedule = schedule
         self.size_env = dict(size_env)
@@ -232,8 +296,15 @@ class ScheduleRunner:
         except (SchedulingError, InvalidCursorError) as err:
             return Measurement(config, status="error", error=str(err))
         try:
-            stats = compile_proc(scheduled).stats()
-            best = self._time(scheduled, repeats)
+            with _deadline(self.timeout_s):
+                stats = compile_proc(scheduled).stats()
+                best = self._time(scheduled, repeats)
+        except _CandidateTimeout:
+            return Measurement(
+                config,
+                status="timeout",
+                error=f"candidate exceeded the {self.timeout_s:g}s wall-clock budget",
+            )
         except Exception as err:  # a crashing candidate must not end the tune
             return Measurement(
                 config, status="error", error=f"{type(err).__name__}: {err}"
@@ -276,11 +347,16 @@ def evaluate_spec(spec: dict) -> dict:
 
     Spec keys: ``proc`` / ``schedule`` (dotted ``"pkg.mod:attr"`` references,
     with optional ``proc_args`` / ``schedule_args`` / ``schedule_kwargs``),
-    ``config``, ``size_env``, ``repeats``, ``seed``, ``backend``.  Returns
-    ``Measurement.to_dict()`` with a ``"knob-error"`` status reserved for
-    :class:`KnobError` so the parent can re-raise it across the process
-    boundary.
+    ``config``, ``size_env``, ``repeats``, ``seed``, ``backend``,
+    ``timeout_s``.  Returns ``Measurement.to_dict()`` with a ``"knob-error"``
+    status reserved for :class:`KnobError` so the parent can re-raise it
+    across the process boundary.
     """
+    if faults.should_fire("worker-crash"):
+        # stand-in for a candidate whose generated code kills the worker
+        # (segfault, OOM-kill): die without Python cleanup, exactly as the
+        # real failure would
+        os._exit(77)
     try:
         proc = _resolve_ref(spec["proc"], spec.get("proc_args", ()))
         schedule = _resolve_ref(
@@ -294,6 +370,7 @@ def evaluate_spec(spec: dict) -> dict:
             seed=spec.get("seed", 0),
             swept=spec.get("swept"),
             backend=spec.get("backend"),
+            timeout_s=spec.get("timeout_s"),
         )
         return runner.evaluate(spec.get("config"), repeats=spec.get("repeats")).to_dict()
     except KnobError as err:
@@ -317,8 +394,9 @@ def evaluate_parallel(
     A candidate that kills its worker outright (segfault, OOM-kill,
     ``os._exit``) breaks the pool for every in-flight future; the survivors
     are retried one at a time in fresh single-worker pools, and any candidate
-    that breaks its own private pool is scored ``"error"`` — a crashing
-    candidate costs its own measurement, never the sweep.
+    that breaks its own private pool is scored ``"crash"`` — a crashing
+    candidate costs its own measurement, never the sweep, and the leaderboard
+    poison-lists it so a warm-started re-tune skips it.
     """
     from concurrent.futures import ProcessPoolExecutor
     from concurrent.futures.process import BrokenProcessPool
@@ -340,7 +418,7 @@ def evaluate_parallel(
         except BrokenProcessPool:
             raw[i] = {
                 "config": dict(configs[i]),
-                "status": "error",
+                "status": "crash",
                 "error": "candidate crashed its worker process",
             }
     out: List[Measurement] = []

@@ -31,7 +31,7 @@ from ..api.cache import ReplayCache
 from ..api.knobs import KnobError
 from ..api.schedule import Schedule
 from ..core.procedure import Procedure
-from .results import Leaderboard, board_key, machine_id
+from .results import Leaderboard, board_key, config_key, machine_id
 from .runner import Measurement, ScheduleRunner
 from .space import Config, GridSampler, RandomSampler, Space, TuneError, successive_halving
 
@@ -44,7 +44,9 @@ class TuneResult:
     ``best_config`` is the *full* knob environment (defaults merged with the
     winning sweep point); ``default`` is the measurement of the schedule's
     hand-picked defaults, so ``result.speedup_vs_default()`` reports what the
-    search bought.  ``measurements`` covers every evaluated candidate and
+    search bought.  ``measurements`` covers every evaluated candidate,
+    ``skipped`` the candidates the leaderboard poison list excluded without
+    re-measuring (they crashed or timed out in an earlier run), and
     ``cache_stats`` the replay-cache traffic of the sweep.
     """
 
@@ -58,6 +60,7 @@ class TuneResult:
         machine: str,
         rounds: Optional[List[dict]] = None,
         cache_stats: Optional[dict] = None,
+        skipped: Optional[List[Config]] = None,
     ):
         self.best = best
         self.default = default
@@ -66,6 +69,7 @@ class TuneResult:
         self.machine = machine
         self.rounds = rounds or []
         self.cache_stats = cache_stats or {}
+        self.skipped = skipped or []
 
     @property
     def best_config(self) -> Config:
@@ -91,6 +95,7 @@ class TuneResult:
             "speedup_vs_default": self.speedup_vs_default(),
             "evaluated": len(self.measurements),
             "errors": sum(1 for m in self.measurements if not m.ok),
+            "skipped": len(self.skipped),
             "cache": self.cache_stats,
         }
 
@@ -106,6 +111,11 @@ class Tuner:
     front, with the schedule's own did-you-mean diagnostics); values outside
     a knob's declared ``choices`` surface as :class:`KnobError` mid-sweep
     rather than scoring as failures.
+
+    Hardening: ``timeout_s`` bounds each candidate's compile+time wall clock
+    (a slow corner scores ``"timeout"`` instead of stalling the sweep), and
+    warm-started re-tunes skip configs the leaderboard has poison-listed
+    after a crash or timeout — see :data:`repro.tune.POISONED_STATUSES`.
     """
 
     def __init__(
@@ -119,6 +129,7 @@ class Tuner:
         seed: int = 0,
         cache: Optional[ReplayCache] = None,
         leaderboard: Optional[Leaderboard] = None,
+        timeout_s: Optional[float] = None,
     ):
         if not isinstance(space, Space):
             raise TuneError(f"Tuner: expected a Space, got {type(space).__name__}")
@@ -143,6 +154,7 @@ class Tuner:
             seed=seed,
             cache=cache,
             swept=space.names(),
+            timeout_s=timeout_s,
         )
 
     # -- candidate generation ----------------------------------------------------
@@ -205,6 +217,18 @@ class Tuner:
         references rather than pickling live IR.
         """
         configs = self.candidates(search, n=n, seed=seed)
+        # warm-start poison list: configs whose last outcome crashed or
+        # wedged a worker are excluded outright — one bad knob corner is
+        # paid for once per machine, not once per tune
+        poisoned = self.leaderboard.poisoned(self.key)
+        skipped = [c for c in configs if config_key(c) in poisoned]
+        configs = [c for c in configs if config_key(c) not in poisoned]
+        if not configs:
+            raise TuneError(
+                "every candidate is poison-listed (crashed or timed out in a "
+                f"previous run); {len(skipped)} config(s) skipped — clear the "
+                "leaderboard to force re-measurement"
+            )
         rounds: List[dict] = []
         if search == "halving" and len(configs) > 1:
             max_b = max_budget if max_budget is not None else max(self.runner.repeats, min_budget)
@@ -241,6 +265,15 @@ class Tuner:
         default_runs = [m for m in ok if m.config == default_cfg]
         if default_runs:
             default = min(default_runs, key=lambda m: m.time_s)
+        elif config_key(default_cfg) in poisoned:
+            # the hand-picked defaults crashed/hung in an earlier run: report
+            # that verdict synthetically, never re-run the dangerous config
+            default = Measurement(
+                default_cfg,
+                status="crash",
+                error="poison-listed by the leaderboard (crashed or timed out "
+                "in a previous run); not re-measured",
+            )
         else:
             default = self.runner.evaluate(default_cfg)
             self.leaderboard.record(self.key, default)
@@ -255,6 +288,7 @@ class Tuner:
             machine=self.machine,
             rounds=rounds,
             cache_stats=self.runner.cache.stats(),
+            skipped=skipped,
         )
 
     def _evaluate(
@@ -279,6 +313,8 @@ class Tuner:
         full_spec.setdefault("size_env", self.runner.size_env)
         full_spec.setdefault("seed", self.runner.seed)
         full_spec.setdefault("swept", self.space.names())
+        if self.runner.timeout_s is not None:
+            full_spec.setdefault("timeout_s", self.runner.timeout_s)
         if repeats is not None:
             full_spec["repeats"] = repeats
         else:
@@ -301,7 +337,7 @@ def autotune(
     Keyword arguments split between the two: ``repeats``/``seed``/``cache``
     configure measurement, everything else is forwarded to :meth:`Tuner.tune`.
     """
-    init_keys = {"repeats", "seed", "cache"}
+    init_keys = {"repeats", "seed", "cache", "timeout_s"}
     init = {k: v for k, v in kwargs.items() if k in init_keys}
     rest = {k: v for k, v in kwargs.items() if k not in init_keys}
     return Tuner(proc, schedule, space, size_env, leaderboard=leaderboard, **init).tune(

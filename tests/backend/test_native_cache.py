@@ -5,7 +5,6 @@ from __future__ import annotations
 import os
 import subprocess
 import sys
-import warnings
 
 import numpy as np
 import pytest
@@ -91,21 +90,28 @@ def test_corrupt_artifact_evicted_and_rebuilt(cache):
     np.testing.assert_allclose(got["y"], ref["y"], rtol=1e-5, atol=1e-6)
 
 
-def test_cc_missing_falls_back_with_one_warning(cache, monkeypatch, axpy):
+def test_cc_missing_records_fallback_event(cache, monkeypatch, axpy):
+    from repro.interp import clear_exec_stats, exec_stats
+
     monkeypatch.setattr(native, "find_cc", lambda: None)
-    monkeypatch.setattr(interpreter, "_native_fallback_warned", False)
+    clear_exec_stats()
     args = make_random_args(axpy, {"n": 64}, seed=1)
     expect = args["y"] + args["a"] * args["x"]
 
-    with pytest.warns(RuntimeWarning, match="falling back"):
-        run_proc(axpy, backend="c", **args)
+    run_proc(axpy, backend="c", **args)
     np.testing.assert_allclose(args["y"], expect, rtol=1e-6)
 
-    # the warning fires once per process, not once per call
+    # the degradation is recorded as a structured event, not a warning
+    stats = exec_stats()
+    assert stats["fallbacks"].get("cc-missing") == 1
+    (ev,) = [e for e in stats["events"] if e["reason"] == "cc-missing"]
+    assert ev["stage"] == "c->compiled" and ev["proc"] == "_axpy"
+
+    # every degraded call is counted — no once-per-process suppression
     args2 = make_random_args(axpy, {"n": 64}, seed=2)
-    with warnings.catch_warnings():
-        warnings.simplefilter("error")
-        run_proc(axpy, backend="c", **args2)
+    run_proc(axpy, backend="c", **args2)
+    assert exec_stats()["fallbacks"]["cc-missing"] == 2
+    clear_exec_stats()
 
 
 @needs_cc

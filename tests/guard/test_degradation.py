@@ -1,0 +1,191 @@
+"""The backend degradation ladder and its structured telemetry.
+
+Every rung is exercised by injecting the fault that forces it and checking
+three things: the call still returns correct results, a structured
+:class:`FallbackEvent` records what happened, and retries fire where the
+failure is transient.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backend import native
+from repro.guard import inject, retry_stats
+from repro.interp import (
+    VALID_BACKENDS,
+    InterpError,
+    clear_exec_stats,
+    exec_stats,
+    make_random_args,
+    resolve_backend,
+    run_proc,
+)
+
+needs_cc = pytest.mark.skipif(native.find_cc() is None, reason="no C compiler on PATH")
+
+
+def _axpy_args(axpy, seed=0):
+    args = make_random_args(axpy, {"n": 96}, seed=seed)
+    expect = args["y"] + args["a"] * args["x"]
+    return args, expect
+
+
+# ---------------------------------------------------------------------------
+# cc-missing: c -> compiled, under every entry point (satellite c)
+# ---------------------------------------------------------------------------
+
+
+def test_cc_missing_under_run_proc(cache, axpy, tolerates):
+    tolerates("cc-missing")
+    with inject("cc-missing"):
+        args, expect = _axpy_args(axpy, seed=1)
+        run_proc(axpy, backend="c", **args)
+    np.testing.assert_allclose(args["y"], expect, rtol=1e-4, atol=1e-5)
+    stats = exec_stats()
+    assert stats["fallbacks"] == {"cc-missing": 1}
+    (ev,) = stats["events"]
+    assert ev["stage"] == "c->compiled" and ev["reason"] == "cc-missing"
+
+
+def test_cc_missing_under_differential_backend(cache, axpy, tolerates):
+    tolerates("cc-missing")
+    with inject("cc-missing"):
+        args, expect = _axpy_args(axpy, seed=2)
+        run_proc(axpy, backend="differential", **args)  # still cross-checks
+    np.testing.assert_allclose(args["y"], expect, rtol=1e-4, atol=1e-5)
+    stats = exec_stats()
+    assert stats["fallbacks"] == {"cc-missing": 1}
+    (ev,) = stats["events"]
+    assert ev["stage"] == "differential-c-leg"
+
+
+def test_cc_missing_under_tuner_spec(cache, tolerates):
+    tolerates("cc-missing")
+    from repro.tune import evaluate_spec
+
+    with inject("cc-missing"):
+        out = evaluate_spec(
+            {
+                "proc": "repro.blas:LEVEL1_KERNELS",
+                "proc_args": ["saxpy"],
+                "schedule": "repro.blas:level1_schedule",
+                "config": {"interleave": 2},
+                "size_env": {"n": 512},
+                "repeats": 1,
+                "backend": "c",
+            }
+        )
+    # the sweep measures on the NumPy engine instead of dying
+    assert out["status"] == "ok" and out["time_s"] > 0
+    assert exec_stats()["fallbacks"].get("cc-missing", 0) >= 1
+
+
+# ---------------------------------------------------------------------------
+# transient faults are retried with backoff
+# ---------------------------------------------------------------------------
+
+
+@needs_cc
+def test_cc_transient_is_retried_and_recovers(cache, axpy, tolerates):
+    tolerates()
+    with inject("cc-transient", times=1):
+        args, expect = _axpy_args(axpy, seed=3)
+        run_proc(axpy, backend="c", **args)
+    np.testing.assert_allclose(args["y"], expect, rtol=1e-4, atol=1e-5)
+    assert retry_stats() == {"cc-invoke": 1}
+    assert exec_stats()["fallbacks"] == {}  # recovered: no degradation
+
+
+@needs_cc
+def test_cc_transient_exhaustion_degrades_gracefully(cache, axpy, tolerates):
+    tolerates("cc-transient")
+    with inject("cc-transient"):  # every attempt fails
+        args, expect = _axpy_args(axpy, seed=4)
+        run_proc(axpy, backend="c", **args)
+    np.testing.assert_allclose(args["y"], expect, rtol=1e-4, atol=1e-5)
+    assert retry_stats()["cc-invoke"] == 2  # 3 attempts, 2 retries
+    assert exec_stats()["fallbacks"] == {"native-unavailable": 1}
+
+
+@needs_cc
+def test_publish_race_is_retried_and_recovers(cache, axpy, tolerates):
+    tolerates()
+    with inject("publish-race", times=1):
+        args, expect = _axpy_args(axpy, seed=5)
+        run_proc(axpy, backend="c", **args)
+    np.testing.assert_allclose(args["y"], expect, rtol=1e-4, atol=1e-5)
+    assert retry_stats() == {"artifact-publish": 1}
+    assert exec_stats()["fallbacks"] == {}
+
+
+# ---------------------------------------------------------------------------
+# artifact-corrupt: evict and rebuild
+# ---------------------------------------------------------------------------
+
+
+@needs_cc
+def test_corrupt_artifact_is_evicted_and_rebuilt(cache, axpy, tolerates):
+    tolerates()
+    root = axpy._root if hasattr(axpy, "_root") else axpy
+    native.compile_native(root)
+    assert native.cache_stats()["compiles"] == 1
+
+    native.clear_memo()  # simulate a fresh process hitting the disk cache
+    with inject("artifact-corrupt", times=1):
+        kernel = native.compile_native(root)
+    stats = native.cache_stats()
+    assert stats["corrupt_evicted"] == 1
+    assert stats["compiles"] == 2  # rebuilt, not surfaced to the caller
+
+    args, expect = _axpy_args(axpy, seed=6)
+    kernel({k: v for k, v in args.items()})
+    np.testing.assert_allclose(args["y"], expect, rtol=1e-4, atol=1e-5)
+
+
+# ---------------------------------------------------------------------------
+# the keystone chaos property
+# ---------------------------------------------------------------------------
+
+
+def test_correctness_survives_any_armed_fault(cache, axpy, fast_guard):
+    """Deliberately tolerates *every* fault: whatever REPRO_FAULTS forces,
+    the public entry point returns correct results and never raises — this is
+    the one test the chaos CI job must run (not skip) in every configuration.
+    """
+    for seed in (10, 11, 12):
+        args, expect = _axpy_args(axpy, seed=seed)
+        run_proc(axpy, backend="c", **args)
+        np.testing.assert_allclose(args["y"], expect, rtol=1e-4, atol=1e-5)
+
+
+# ---------------------------------------------------------------------------
+# backend validation (satellite b)
+# ---------------------------------------------------------------------------
+
+
+def test_invalid_backend_kwarg_is_rejected_up_front(axpy):
+    args = make_random_args(axpy, {"n": 8}, seed=0)
+    with pytest.raises(InterpError, match=r"invalid execution backend 'numpyy'"):
+        run_proc(axpy, backend="numpyy", **args)
+
+
+def test_invalid_env_backend_names_its_source(monkeypatch, axpy):
+    from repro.interp import interpreter
+
+    monkeypatch.setenv("REPRO_EXEC_BACKEND", "native")
+    monkeypatch.setattr(interpreter, "_default_backend", None)
+    args = make_random_args(axpy, {"n": 8}, seed=0)
+    with pytest.raises(InterpError, match="REPRO_EXEC_BACKEND"):
+        run_proc(axpy, **args)
+    monkeypatch.setattr(interpreter, "_default_backend", None)
+
+
+def test_resolve_backend_lists_the_valid_set():
+    with pytest.raises(InterpError) as err:
+        resolve_backend("jit")
+    for name in VALID_BACKENDS:
+        assert name in str(err.value)
+    assert resolve_backend(None) in VALID_BACKENDS
+    assert resolve_backend("interp") == "interp"

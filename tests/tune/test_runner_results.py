@@ -11,6 +11,7 @@ from repro.tune import (
     ScheduleRunner,
     TuneError,
     board_key,
+    config_key,
     evaluate_parallel,
     evaluate_spec,
     machine_id,
@@ -110,21 +111,56 @@ def test_leaderboard_records_minima_and_persists(tmp_path, axpy):
         "configs": 2,
         "ok": 1,
         "errors": 1,
+        "poisoned": 0,
         "best": fresh.best(key),
     }
     # the machine id is baked into the key
     assert key.endswith(machine_id())
 
 
-def test_leaderboard_refuses_corrupt_and_future_files(tmp_path):
+def test_leaderboard_quarantines_corrupt_and_future_files(tmp_path):
+    # a truncated write from a killed tune must not brick every future tune:
+    # the bad file is renamed aside (evidence preserved) and the board starts
+    # fresh, with a warning
     bad = tmp_path / "bad.json"
     bad.write_text("{not json")
-    with pytest.raises(TuneError):
-        Leaderboard(str(bad))
+    with pytest.warns(RuntimeWarning, match="corrupt"):
+        lb = Leaderboard(str(bad))
+    assert lb.boards == {}
+    assert not bad.exists()
+    quarantined = list(tmp_path.glob("bad.json.corrupt-*"))
+    assert len(quarantined) == 1
+    assert quarantined[0].read_text() == "{not json"
+
     future = tmp_path / "future.json"
     future.write_text('{"version": 99, "boards": {}}')
-    with pytest.raises(TuneError):
-        Leaderboard(str(future))
+    with pytest.warns(RuntimeWarning, match="version"):
+        lb = Leaderboard(str(future))
+    assert lb.boards == {}
+    assert list(tmp_path.glob("future.json.corrupt-*"))
+
+    # the fresh board saves over the old path normally afterwards
+    lb.record("k", Measurement({"w": 2}, time_s=1.0, repeats=1))
+    lb.save()
+    assert Leaderboard(str(future)).best("k")["config"] == {"w": 2}
+
+
+def test_leaderboard_poison_list():
+    lb = Leaderboard()
+    lb.record("k", Measurement({"w": 4}, time_s=1.0, repeats=1))
+    lb.record("k", Measurement({"w": 8}, status="crash", error="SIGSEGV"))
+    lb.record("k", Measurement({"w": 2}, status="timeout", error="hung"))
+    lb.record("k", Measurement({"w": 16}, status="error", error="refused"))
+    assert lb.poisoned("k") == {config_key({"w": 8}), config_key({"w": 2})}
+    assert lb.is_poisoned("k", {"w": 8}) and not lb.is_poisoned("k", {"w": 16})
+    assert lb.stats("k")["poisoned"] == 2
+
+    # a crash overrides an earlier ok for the same config — and evicts it
+    # from the championship
+    assert lb.best("k")["config"] == {"w": 4}
+    lb.record("k", Measurement({"w": 4}, status="crash", error="boom"))
+    assert lb.is_poisoned("k", {"w": 4})
+    assert lb.best("k") is None
 
 
 def test_evaluate_spec_builds_from_importable_references():
@@ -190,7 +226,8 @@ def test_evaluate_parallel_survives_a_worker_crash():
         max_workers=2,
     )
     assert len(ms) == 2
-    assert all(m.status == "error" and "crashed" in m.error for m in ms)
+    assert all(m.status == "crash" and "crashed" in m.error for m in ms)
+    assert all(m.score == float("inf") for m in ms)
 
 
 def test_evaluate_parallel_isolates_candidates_and_reraises_knob_errors():
