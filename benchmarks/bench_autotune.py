@@ -39,6 +39,8 @@ REPO = Path(__file__).resolve().parent.parent
 OUT_PATH = REPO / "BENCH_autotune.json"
 # the warm-start store; kept out of version control (machine-specific numbers)
 LEADERBOARD_PATH = REPO / ".autotune_leaderboard.json"
+# the resumable-tuning journal; recreated on every run
+CHECKPOINT_PATH = REPO / ".autotune_checkpoint.jsonl"
 
 
 def tune_saxpy(leaderboard: Leaderboard, cache: ReplayCache):
@@ -55,14 +57,15 @@ def tune_saxpy(leaderboard: Leaderboard, cache: ReplayCache):
     return result, equiv
 
 
-def tune_blur(leaderboard: Leaderboard, cache: ReplayCache):
+def tune_blur(leaderboard: Leaderboard, cache: ReplayCache, checkpoint: str):
     """Grid sweep of the blur vector width with the tile knobs held at their
     defaults — the tiling prefix is knob-invariant, so every candidate after
-    the first hits the replay cache for it."""
+    the first hits the replay cache for it.  Every measurement journals to
+    ``checkpoint`` (the resumable-tuning path, ISSUE 8)."""
     proc = make_blur()
     tuner = Tuner(
         proc, blur_schedule(), blur_space(tiles=False), {"H": 64, "W": 512},
-        repeats=5, cache=cache, leaderboard=leaderboard,
+        repeats=5, cache=cache, leaderboard=leaderboard, checkpoint=checkpoint,
     )
     result = tuner.tune("grid")
     equiv = check_equiv(proc, tuner.runner.scheduled(result.best_config), {"H": 64, "W": 512})
@@ -72,15 +75,20 @@ def tune_blur(leaderboard: Leaderboard, cache: ReplayCache):
 def main() -> int:
     leaderboard = Leaderboard(str(LEADERBOARD_PATH))
     cache = ReplayCache()
+    CHECKPOINT_PATH.unlink(missing_ok=True)  # fresh journal: deterministic gates
 
     saxpy_result, saxpy_equiv = tune_saxpy(leaderboard, cache)
-    blur_result, blur_equiv = tune_blur(leaderboard, cache)
+    blur_result, blur_equiv = tune_blur(leaderboard, cache, str(CHECKPOINT_PATH))
 
     # a re-tune of saxpy must warm-start from the leaderboard and hit the
     # replay cache for every scheduling application it repeats
     hits_before = cache.hits
     saxpy_again, _ = tune_saxpy(leaderboard, cache)
     retune_hits = cache.hits - hits_before
+
+    # a restarted blur tune must restore every measurement from its
+    # checkpoint journal and re-measure nothing
+    blur_again, _ = tune_blur(leaderboard, cache, str(CHECKPOINT_PATH))
 
     results = {"saxpy": saxpy_result, "blur": blur_result, "saxpy_retune": saxpy_again}
     record = {
@@ -89,6 +97,11 @@ def main() -> int:
         "kernels": {name: r.to_dict() for name, r in results.items()},
         "equivalent": {"saxpy": bool(saxpy_equiv), "blur": bool(blur_equiv)},
         "replay_cache": dict(cache.stats(), retune_hits=retune_hits),
+        "resume": {
+            "journaled": len(blur_result.measurements),
+            "resumed": len(blur_again.resumed),
+            "re_measured": len(blur_again.measurements),
+        },
         "leaderboard": leaderboard.to_dict(),
     }
     OUT_PATH.write_text(json.dumps(record, indent=2, default=repr) + "\n")
@@ -105,6 +118,10 @@ def main() -> int:
             f"{len(r.measurements)} candidates)"
         )
     print(f"  replay cache  : {cache.stats()} (re-tune hits: {retune_hits})")
+    print(
+        f"  checkpoint    : blur re-tune resumed {len(blur_again.resumed)} "
+        f"measurement(s), re-measured {len(blur_again.measurements)}"
+    )
     print(f"  wrote {OUT_PATH.name}")
 
     failures = []
@@ -120,6 +137,12 @@ def main() -> int:
         failures.append("replay cache recorded no hits during the sweeps")
     if retune_hits <= 0:
         failures.append("the saxpy re-tune did not hit the replay cache")
+    if blur_again.measurements or not blur_again.resumed:
+        failures.append(
+            "the blur re-tune did not resume from its checkpoint journal "
+            f"({len(blur_again.resumed)} resumed, "
+            f"{len(blur_again.measurements)} re-measured)"
+        )
     if not saxpy_equiv:
         failures.append("tuned saxpy is not equivalent to the unscheduled kernel")
     if not blur_equiv:

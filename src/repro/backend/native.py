@@ -49,7 +49,6 @@ from __future__ import annotations
 
 import ctypes
 import hashlib
-import json
 import os
 import platform
 import shutil
@@ -64,6 +63,7 @@ from ..errors import BackendError
 from ..guard import faults, quarantine
 from ..guard.retry import with_retry
 from ..ir.printing import proc_str
+from ..persist import CorruptRecordError, read_record, write_record, write_text_atomic
 from .codegen import CODEGEN_VERSION, CodegenError, CodegenOptions, NativeUnit, emit_unit
 
 __all__ = [
@@ -243,14 +243,15 @@ def artifact_meta(key: str, directory: Optional[str] = None) -> dict:
         return dict(memo)
     meta = {"status": STATUS_NEW}
     try:
-        with open(path) as f:
-            data = json.load(f)
+        data = read_record(path)
         if isinstance(data, dict) and data.get("status") in (
             STATUS_VALIDATED,
             STATUS_POISONED,
         ):
             meta = data
-    except (OSError, json.JSONDecodeError):
+    except (OSError, CorruptRecordError):
+        # a torn or missing trust stamp reads as "never executed here":
+        # the artifact simply re-enters quarantine, which is safe
         pass
     _status_memo[path] = dict(meta)
     return meta
@@ -262,10 +263,10 @@ def artifact_status(key: str, directory: Optional[str] = None) -> str:
 
 
 def _write_meta(key: str, meta: dict, directory: Optional[str] = None) -> None:
-    path = _meta_path(key, directory)
-    os.makedirs(os.path.dirname(path), exist_ok=True)
-    _write_atomic(path, json.dumps(meta, indent=2) + "\n")
-    _status_memo[path] = dict(meta)
+    # a trust stamp is a real persistence decision (poisoned must survive
+    # kill -9), so it goes through the checksummed crash-consistent store
+    write_record(_meta_path(key, directory), meta)
+    _status_memo[_meta_path(key, directory)] = dict(meta)
 
 
 def mark_validated(key: str, directory: Optional[str] = None) -> None:
@@ -419,17 +420,6 @@ def _build(cc: str, options: CodegenOptions, c_path: str, so_path: str) -> None:
             os.unlink(tmp_so)
 
 
-def _write_atomic(path: str, text: str) -> None:
-    fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path))
-    try:
-        with os.fdopen(fd, "w") as f:
-            f.write(text)
-        os.replace(tmp, path)
-    finally:
-        if os.path.exists(tmp):
-            os.unlink(tmp)
-
-
 def _prune(directory: str, keep: int) -> None:
     """Drop the least-recently-used artifacts beyond ``keep`` entries (hits
     touch the ``.so`` mtime, so mtime order is use order)."""
@@ -515,7 +505,7 @@ def compile_native(
                 pass
             _evict_meta(so_path)
     if proc is None:
-        _write_atomic(c_path, unit.source)
+        write_text_atomic(c_path, unit.source)
         _build(cc, options, c_path, so_path)
         _stats["compiles"] += 1
         try:

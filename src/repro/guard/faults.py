@@ -36,6 +36,17 @@ The fault names and the sites that honour them:
 ``worker-crash``    a tuner evaluation worker calls ``os._exit`` mid-task
 ``publish-race``    publishing an artifact into the cache raises
                     :class:`OSError` (retried with backoff)
+``partial-write``   :mod:`repro.persist` publishes a *torn* record/journal
+                    line (half the bytes) — exercises checksum detection and
+                    quarantine on the next load
+``lock-timeout``    :class:`repro.persist.lock.FileLock` acquisition times
+                    out immediately — exercises every caller's
+                    lock-contention degradation path
+``kill-mid-publish`` the writing process is SIGKILLed between staging a
+                    record and ``os.replace`` (or mid journal append).
+                    **Kills the process that hits the site** — arm it only
+                    around forked victims (the ``tests/persist`` kill
+                    harness) or in a chaos run whose tests fork their writers
 =================== =========================================================
 """
 
@@ -68,6 +79,9 @@ VALID_FAULTS = frozenset(
         "kernel-hang",
         "worker-crash",
         "publish-race",
+        "partial-write",
+        "lock-timeout",
+        "kill-mid-publish",
     }
 )
 
@@ -84,8 +98,8 @@ def _check_name(name: str) -> str:
     return name
 
 
-#: injected fault -> remaining fire count (None = unlimited while armed)
-_injected: Dict[str, Optional[int]] = {}
+#: injected fault -> [remaining skips, remaining fires (None = unlimited)]
+_injected: Dict[str, list] = {}
 
 _env_memo: Optional[tuple] = None  # (raw string, frozenset) cache
 
@@ -122,29 +136,34 @@ def should_fire(name: str) -> bool:
     _check_name(name)
     if name in env_faults():
         return True
-    remaining = _injected.get(name)
-    if name not in _injected:
+    state = _injected.get(name)
+    if state is None:
         return False
-    if remaining is None:
+    skip, times = state
+    if skip > 0:
+        state[0] = skip - 1
+        return False
+    if times is None:
         return True
-    if remaining <= 0:
+    if times <= 0:
         return False
-    _injected[name] = remaining - 1
+    state[1] = times - 1
     return True
 
 
 @contextmanager
-def inject(name: str, times: Optional[int] = None):
+def inject(name: str, times: Optional[int] = None, skip: int = 0):
     """Arm ``name`` for the dynamic extent of the block.
 
     ``times`` bounds how often the fault fires (``None`` = every time the
-    site is reached while armed).  Nesting the same fault restores the outer
-    arming on exit.
+    site is reached while armed); ``skip`` lets that many site visits pass
+    clean first — how a test kills a victim at its K-th persist, not its
+    first.  Nesting the same fault restores the outer arming on exit.
     """
     _check_name(name)
     had = name in _injected
     prev = _injected.get(name)
-    _injected[name] = times
+    _injected[name] = [skip, times]
     try:
         yield
     finally:

@@ -15,12 +15,23 @@ box must not warm-start this one).  Re-running a tune loads the board first
 and seeds the search with the persisted best config, so repeated tuning
 converges instead of starting blind.
 
-The on-disk format is one JSON object ``{"version": 1, "boards": {key:
-board}}`` where each board holds per-config best times plus the current
-champion.  A corrupt or future-versioned file is *quarantined* — renamed to
-``<path>.corrupt-<digest>`` with a warning — and the board starts fresh: a
-truncated write from a killed tune run must not brick every future tune, and
-the renamed file preserves the evidence instead of silently clobbering it.
+The on-disk format is one checksummed :mod:`repro.persist` record holding
+``{"version": 1, "boards": {key: board}}`` where each board holds per-config
+best times plus the current champion.  A corrupt or future-versioned file is
+*quarantined* — renamed to ``<path>.corrupt-<digest>`` with a warning — and
+the board starts fresh: a truncated write from a killed tune run must not
+brick every future tune, and the renamed file preserves the evidence instead
+of silently clobbering it.
+
+Concurrent tuners sharing one board path are first-class (ISSUE 8):
+:meth:`Leaderboard.save` takes the board's advisory
+:class:`~repro.persist.lock.FileLock`, **reloads the on-disk board and
+merges it** (per-config minima, poison-wins, champion recomputed) before
+publishing, so N processes tuning against the same path lose zero
+measurements regardless of interleaving.  If the lock cannot be acquired
+within ``lock_timeout_s`` the save degrades to in-memory only — a
+``lock-contention`` :class:`~repro.guard.events.FallbackEvent` is recorded
+and a warning emitted, but the tune run is never blocked on a wedged holder.
 
 Crash/timeout measurements are poison-listed (:data:`POISONED_STATUSES`,
 :meth:`Leaderboard.poisoned`): a warm-started re-tune skips configs whose
@@ -30,7 +41,6 @@ paid for exactly once per machine.
 
 from __future__ import annotations
 
-import hashlib
 import json
 import os
 import platform
@@ -39,6 +49,10 @@ from typing import Dict, List, Optional, Set
 
 from ..api.trace import state_hash
 from ..core.procedure import Procedure
+from ..guard.events import record_fallback
+from ..persist import CorruptRecordError, FileLock, LockTimeout, quarantine_file
+from ..persist import read_record as _read_record
+from ..persist import write_record as _write_record
 from .runner import Measurement
 from .space import Config, TuneError
 
@@ -96,6 +110,42 @@ _config_key = config_key  # backward-compatible alias
 _VERSION = 1
 
 
+def _merge_entry(mine: Optional[dict], theirs: Optional[dict]) -> dict:
+    """The per-config merge rule shared by :meth:`Leaderboard.record` and
+    :meth:`Leaderboard.merge`: a poisoning outcome (crash/timeout) wins over
+    anything, two ``ok`` entries keep the faster (ties keep ``mine``), an
+    ``ok`` beats a plain error, and between two failures the incoming entry
+    (the latest evidence) wins."""
+    if mine is None:
+        return theirs
+    if theirs is None:
+        return mine
+    mine_poison = mine.get("status") in POISONED_STATUSES
+    theirs_poison = theirs.get("status") in POISONED_STATUSES
+    if mine_poison or theirs_poison:
+        return mine if mine_poison else theirs
+    mine_ok = mine.get("status") == "ok" and mine.get("time_s") is not None
+    theirs_ok = theirs.get("status") == "ok" and theirs.get("time_s") is not None
+    if mine_ok and theirs_ok:
+        return mine if mine["time_s"] <= theirs["time_s"] else theirs
+    if mine_ok:
+        return mine
+    if theirs_ok:
+        return theirs
+    return theirs
+
+
+def _recompute_best(board: dict) -> None:
+    """Champion = minimum-time ok entry; deterministic regardless of the
+    order measurements and merges arrived in."""
+    ok = [
+        e
+        for e in board["entries"].values()
+        if e.get("status") == "ok" and e.get("time_s") is not None
+    ]
+    board["best"] = dict(min(ok, key=lambda e: e["time_s"])) if ok else None
+
+
 class Leaderboard:
     """A map from board keys to per-config tuning results, persisted as JSON.
 
@@ -104,62 +154,101 @@ class Leaderboard:
     champion entry; :meth:`best` hands back the champion for warm-starting.
     """
 
-    def __init__(self, path: Optional[str] = None):
+    def __init__(self, path: Optional[str] = None, *, lock_timeout_s: float = 10.0):
         self.path = path
+        self.lock_timeout_s = lock_timeout_s
         self.boards: Dict[str, dict] = {}
         if path is not None and os.path.exists(path):
             self.load()
 
     # -- persistence -----------------------------------------------------------
 
-    def load(self) -> None:
+    def _read_disk(self) -> Optional[Dict[str, dict]]:
+        """The board map currently on disk, or ``None`` when there is none
+        worth keeping (missing, unreadable, corrupt — the latter quarantined
+        with a warning; never raises)."""
         try:
-            with open(self.path, "rb") as f:
-                raw = f.read()
+            data = _read_record(self.path)
+        except FileNotFoundError:
+            return None
         except OSError as err:
             # can't even read it — nothing to preserve, start fresh
             warnings.warn(
                 f"leaderboard {self.path!r} is unreadable ({err}); starting a fresh board",
                 RuntimeWarning,
-                stacklevel=2,
+                stacklevel=3,
             )
-            self.boards = {}
-            return
-        try:
-            data = json.loads(raw)
-            if not isinstance(data, dict) or data.get("version") != _VERSION:
-                raise ValueError(f"unsupported version {data.get('version') if isinstance(data, dict) else None!r}")
-        except (json.JSONDecodeError, ValueError) as err:
-            self._quarantine(raw, str(err))
-            self.boards = {}
-            return
-        self.boards = data.get("boards", {})
+            return None
+        except CorruptRecordError as err:
+            self._quarantine(str(err))
+            return None
+        if not isinstance(data, dict) or data.get("version") != _VERSION:
+            got = data.get("version") if isinstance(data, dict) else None
+            self._quarantine(f"unsupported version {got!r}")
+            return None
+        boards = data.get("boards", {})
+        return boards if isinstance(boards, dict) else None
 
-    def _quarantine(self, raw: bytes, why: str) -> None:
+    def load(self) -> None:
+        self.boards = self._read_disk() or {}
+
+    def _quarantine(self, why: str) -> None:
         """Move a corrupt/foreign leaderboard file aside (named by content
         digest, so repeated loads of the same corruption collapse to one
         quarantine file) and warn; never raise."""
-        digest = hashlib.sha256(raw).hexdigest()[:8]
-        dest = f"{self.path}.corrupt-{digest}"
-        try:
-            os.replace(self.path, dest)
-            where = f"moved to {dest!r}"
-        except OSError as err:
-            where = f"could not be moved aside ({err})"
+        dest = quarantine_file(self.path)
+        where = f"moved to {dest!r}" if dest else "could not be moved aside"
         warnings.warn(
             f"leaderboard {self.path!r} is corrupt ({why}); {where}; starting a fresh board",
             RuntimeWarning,
-            stacklevel=3,
+            stacklevel=4,
         )
 
     def save(self) -> None:
+        """Publish the board: take the advisory lock, **merge** whatever is
+        on disk by now (another tuner may have saved since we loaded), and
+        write one checksummed atomic record.  Lock contention degrades to
+        in-memory operation instead of blocking — the measurements stay
+        recorded on this object and the next successful save merges them."""
         if self.path is None:
             return
-        tmp = f"{self.path}.tmp"
-        with open(tmp, "w") as f:
-            json.dump(self.to_dict(), f, indent=2, default=repr)
-            f.write("\n")
-        os.replace(tmp, self.path)
+        lock = FileLock(f"{self.path}.lock", timeout_s=self.lock_timeout_s)
+        try:
+            lock.acquire()
+        except LockTimeout as err:
+            record_fallback(
+                os.path.basename(self.path),
+                "persist->memory",
+                "lock-contention",
+                detail=str(err),
+            )
+            warnings.warn(
+                f"leaderboard {self.path!r}: {err}; keeping this save in memory only",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return
+        try:
+            disk = self._read_disk()
+            if disk:
+                self.merge(disk)
+            _write_record(self.path, self.to_dict())
+        finally:
+            lock.release()
+
+    def merge(self, other: Dict[str, dict]) -> None:
+        """Fold another board map (the :meth:`to_dict` ``"boards"`` shape)
+        into this one: per-config entries merge under the same rules as
+        :meth:`record` — minimum ok time, poison outcomes win, an ok beats a
+        plain error — and champions are recomputed.  This is what makes
+        concurrent saves against one path lossless."""
+        for key, oboard in other.items():
+            if not isinstance(oboard, dict):
+                continue
+            board = self._board(key)
+            for ck, entry in (oboard.get("entries") or {}).items():
+                board["entries"][ck] = _merge_entry(board["entries"].get(ck), entry)
+            _recompute_best(board)
 
     def to_dict(self) -> dict:
         return {"version": _VERSION, "boards": self.boards}
@@ -178,24 +267,10 @@ class Leaderboard:
         of its history — and evicts it from the championship if needed."""
         board = self._board(key)
         ck = config_key(measurement.config)
-        prev = board["entries"].get(ck)
-        entry = measurement.to_dict()
-        poisoning = measurement.status in POISONED_STATUSES
-        if prev is not None and prev.get("status") == "ok" and not poisoning:
-            if not measurement.ok or prev["time_s"] <= measurement.time_s:
-                entry = prev
-        board["entries"][ck] = entry
-        best = board["best"]
-        if entry.get("status") == "ok" and (
-            best is None or best.get("time_s") is None or entry["time_s"] < best["time_s"]
-        ):
-            board["best"] = dict(entry)
-        elif poisoning and best is not None and config_key(best.get("config", {})) == ck:
-            ok = [
-                e for e in board["entries"].values()
-                if e.get("status") == "ok" and e.get("time_s") is not None
-            ]
-            board["best"] = dict(min(ok, key=lambda e: e["time_s"])) if ok else None
+        board["entries"][ck] = _merge_entry(
+            board["entries"].get(ck), measurement.to_dict()
+        )
+        _recompute_best(board)
 
     def record_many(self, key: str, measurements: List[Measurement]) -> None:
         for m in measurements:

@@ -21,6 +21,15 @@ Search strategies: ``"grid"`` (exhaustive), ``"random"`` (n distinct points),
 re-timed at growing budgets).  The hand-picked defaults of the schedule are
 always injected as a candidate, so the tuned result can never lose to them on
 the same measurement protocol.
+
+Resumable tuning (ISSUE 8): pass ``checkpoint="path"`` and every completed
+measurement is journaled (append-only, per-line checksummed —
+:class:`repro.persist.Journal`) the moment it finishes.  A tuner killed
+mid-run — ``kill -9`` included — restarts with the same checkpoint path and
+re-measures **only the unfinished configs**: journaled measurements are
+folded back in (and into the leaderboard) without re-running, the poison
+list still applies, and at worst the single measurement that was mid-append
+when the process died is repeated.
 """
 
 from __future__ import annotations
@@ -31,7 +40,8 @@ from ..api.cache import ReplayCache
 from ..api.knobs import KnobError
 from ..api.schedule import Schedule
 from ..core.procedure import Procedure
-from .results import Leaderboard, board_key, config_key, machine_id
+from ..persist import Journal
+from .results import POISONED_STATUSES, Leaderboard, board_key, config_key, machine_id
 from .runner import Measurement, ScheduleRunner
 from .space import Config, GridSampler, RandomSampler, Space, TuneError, successive_halving
 
@@ -44,10 +54,12 @@ class TuneResult:
     ``best_config`` is the *full* knob environment (defaults merged with the
     winning sweep point); ``default`` is the measurement of the schedule's
     hand-picked defaults, so ``result.speedup_vs_default()`` reports what the
-    search bought.  ``measurements`` covers every evaluated candidate,
-    ``skipped`` the candidates the leaderboard poison list excluded without
-    re-measuring (they crashed or timed out in an earlier run), and
-    ``cache_stats`` the replay-cache traffic of the sweep.
+    search bought.  ``measurements`` covers every candidate this run
+    *evaluated*, ``resumed`` the measurements restored from the checkpoint
+    journal without re-running, ``skipped`` the candidates the leaderboard
+    poison list excluded without re-measuring (they crashed or timed out in
+    an earlier run), and ``cache_stats`` the replay-cache traffic of the
+    sweep.
     """
 
     def __init__(
@@ -61,6 +73,7 @@ class TuneResult:
         rounds: Optional[List[dict]] = None,
         cache_stats: Optional[dict] = None,
         skipped: Optional[List[Config]] = None,
+        resumed: Optional[List[Measurement]] = None,
     ):
         self.best = best
         self.default = default
@@ -70,6 +83,7 @@ class TuneResult:
         self.rounds = rounds or []
         self.cache_stats = cache_stats or {}
         self.skipped = skipped or []
+        self.resumed = resumed or []
 
     @property
     def best_config(self) -> Config:
@@ -96,6 +110,7 @@ class TuneResult:
             "evaluated": len(self.measurements),
             "errors": sum(1 for m in self.measurements if not m.ok),
             "skipped": len(self.skipped),
+            "resumed": len(self.resumed),
             "cache": self.cache_stats,
         }
 
@@ -116,6 +131,11 @@ class Tuner:
     (a slow corner scores ``"timeout"`` instead of stalling the sweep), and
     warm-started re-tunes skip configs the leaderboard has poison-listed
     after a crash or timeout — see :data:`repro.tune.POISONED_STATUSES`.
+
+    ``checkpoint`` names a :class:`~repro.persist.Journal` file: every
+    completed measurement is appended durably, and a restarted tune with the
+    same checkpoint re-measures only the configs the journal does not
+    already cover (see the module docstring).
     """
 
     def __init__(
@@ -130,6 +150,7 @@ class Tuner:
         cache: Optional[ReplayCache] = None,
         leaderboard: Optional[Leaderboard] = None,
         timeout_s: Optional[float] = None,
+        checkpoint: Optional[str] = None,
     ):
         if not isinstance(space, Space):
             raise TuneError(f"Tuner: expected a Space, got {type(space).__name__}")
@@ -146,6 +167,7 @@ class Tuner:
         self.leaderboard = leaderboard if leaderboard is not None else Leaderboard()
         self.machine = machine_id()
         self.key = board_key(proc, schedule, self.machine)
+        self.checkpoint = Journal(checkpoint) if checkpoint is not None else None
         self.runner = ScheduleRunner(
             proc,
             schedule,
@@ -217,22 +239,29 @@ class Tuner:
         references rather than pickling live IR.
         """
         configs = self.candidates(search, n=n, seed=seed)
+        # resume: configs the checkpoint journal already covers are restored,
+        # not re-measured — a SIGKILLed tune pays only for unfinished work
+        resumed = self._resume(configs)
+        if resumed:
+            done = {config_key(m.config) for m in resumed}
+            configs = [c for c in configs if config_key(c) not in done]
+            self.leaderboard.record_many(self.key, resumed)
         # warm-start poison list: configs whose last outcome crashed or
         # wedged a worker are excluded outright — one bad knob corner is
         # paid for once per machine, not once per tune
         poisoned = self.leaderboard.poisoned(self.key)
         skipped = [c for c in configs if config_key(c) in poisoned]
         configs = [c for c in configs if config_key(c) not in poisoned]
-        if not configs:
+        if not configs and not resumed:
             raise TuneError(
                 "every candidate is poison-listed (crashed or timed out in a "
                 f"previous run); {len(skipped)} config(s) skipped — clear the "
                 "leaderboard to force re-measurement"
             )
         rounds: List[dict] = []
+        measurements: List[Measurement] = []
         if search == "halving" and len(configs) > 1:
             max_b = max_budget if max_budget is not None else max(self.runner.repeats, min_budget)
-            measurements = []
 
             def eval_round(cfgs: List[Config], budget: int) -> List[float]:
                 ms = self._evaluate(cfgs, repeats=budget, parallel=parallel,
@@ -244,18 +273,19 @@ class Tuner:
             _, rounds = successive_halving(
                 configs, eval_round, min_budget=min_budget, max_budget=max_b
             )
-        else:
+        elif configs:
             measurements = self._evaluate(
                 configs, repeats=None, parallel=parallel, max_workers=max_workers, spec=spec
             )
             self.leaderboard.record_many(self.key, measurements)
         self.leaderboard.save()
 
-        ok = [m for m in measurements if m.ok]
+        pool = measurements + resumed
+        ok = [m for m in pool if m.ok]
         if not ok:
             raise TuneError(
                 "tuning produced no successful measurement; every candidate failed "
-                f"({measurements[0].error if measurements else 'empty space'})"
+                f"({pool[0].error if pool else 'empty space'})"
             )
         best = min(ok, key=lambda m: m.time_s)
         default_cfg = self._full({})
@@ -276,6 +306,7 @@ class Tuner:
             )
         else:
             default = self.runner.evaluate(default_cfg)
+            self._journal(default)
             self.leaderboard.record(self.key, default)
             self.leaderboard.save()
             if default.ok and default.time_s < best.time_s:
@@ -289,7 +320,43 @@ class Tuner:
             rounds=rounds,
             cache_stats=self.runner.cache.stats(),
             skipped=skipped,
+            resumed=resumed,
         )
+
+    # -- checkpointing -----------------------------------------------------------
+
+    def _journal(self, measurement: Measurement) -> None:
+        """Durably append one completed measurement to the checkpoint (the
+        persist sites inside :meth:`Journal.append` honour the
+        ``partial-write``/``kill-mid-publish`` faults, which is how the kill
+        harness interrupts a tune at a chosen point)."""
+        if self.checkpoint is not None:
+            self.checkpoint.append({"key": self.key, "measurement": measurement.to_dict()})
+
+    def _resume(self, configs: Sequence[Config]) -> List[Measurement]:
+        """The journaled measurements covering ``configs`` (this board key
+        only; a checkpoint shared across specs never cross-pollutes).  When
+        a config was journaled several times — halving budgets, or a re-tune
+        — the poisoned outcome wins, else the best time."""
+        if self.checkpoint is None:
+            return []
+        done: Dict[str, Measurement] = {}
+        for rec in self.checkpoint.entries():
+            if not isinstance(rec, dict) or rec.get("key") != self.key:
+                continue
+            try:
+                m = Measurement.from_dict(rec["measurement"])
+            except (KeyError, TypeError):
+                continue
+            ck = config_key(m.config)
+            prev = done.get(ck)
+            if (
+                prev is None
+                or m.status in POISONED_STATUSES
+                or (prev.status not in POISONED_STATUSES and m.score <= prev.score)
+            ):
+                done[ck] = m
+        return [done[config_key(c)] for c in configs if config_key(c) in done]
 
     def _evaluate(
         self,
@@ -301,7 +368,12 @@ class Tuner:
         spec: Optional[dict],
     ) -> List[Measurement]:
         if not parallel:
-            return self.runner.evaluate_many(configs, repeats=repeats)
+            out: List[Measurement] = []
+            for config in configs:
+                m = self.runner.evaluate(config, repeats=repeats)
+                self._journal(m)  # the moment it completes, not at sweep end
+                out.append(m)
+            return out
         if spec is None:
             raise TuneError(
                 "parallel tuning needs a spec (importable proc/schedule references); "
@@ -319,7 +391,10 @@ class Tuner:
             full_spec["repeats"] = repeats
         else:
             full_spec.setdefault("repeats", self.runner.repeats)
-        return evaluate_parallel(full_spec, configs, max_workers=max_workers)
+        ms = evaluate_parallel(full_spec, configs, max_workers=max_workers)
+        for m in ms:
+            self._journal(m)  # batch granularity: the workers just finished
+        return ms
 
 
 def autotune(
@@ -337,7 +412,7 @@ def autotune(
     Keyword arguments split between the two: ``repeats``/``seed``/``cache``
     configure measurement, everything else is forwarded to :meth:`Tuner.tune`.
     """
-    init_keys = {"repeats", "seed", "cache", "timeout_s"}
+    init_keys = {"repeats", "seed", "cache", "timeout_s", "checkpoint"}
     init = {k: v for k, v in kwargs.items() if k in init_keys}
     rest = {k: v for k, v in kwargs.items() if k not in init_keys}
     return Tuner(proc, schedule, space, size_env, leaderboard=leaderboard, **init).tune(

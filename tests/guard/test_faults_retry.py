@@ -71,6 +71,9 @@ def test_fault_names_match_the_documented_set():
         "kernel-hang",
         "worker-crash",
         "publish-race",
+        "partial-write",
+        "lock-timeout",
+        "kill-mid-publish",
     }
 
 

@@ -1,0 +1,112 @@
+"""The repro_fsck doctor: finding classification, repair actions, purge."""
+
+from __future__ import annotations
+
+import importlib.util
+import os
+import sys
+
+import pytest
+
+from repro.persist import FileLock, Journal, read_record, write_record
+
+_TOOL = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), "..", "..", "tools", "repro_fsck.py")
+)
+_spec = importlib.util.spec_from_file_location("repro_fsck", _TOOL)
+fsck = importlib.util.module_from_spec(_spec)
+sys.modules["repro_fsck"] = fsck  # dataclasses resolve annotations via here
+_spec.loader.exec_module(fsck)
+
+
+def _kinds(findings):
+    return sorted(f.kind for f in findings)
+
+
+@pytest.fixture
+def damaged(tmp_path):
+    """One directory exhibiting every damage class the doctor knows."""
+    write_record(str(tmp_path / "good.json"), {"version": 1})
+    with open(tmp_path / "bad.json", "w") as f:
+        f.write('{"a": 1}\n#sha256:deadbeef')
+    with open(tmp_path / ".stage-abc123.tmp", "w") as f:
+        f.write("staged junk")
+    open(tmp_path / "board.json.lock", "w").close()
+    with open(tmp_path / "kernel.meta.json", "w") as f:
+        f.write('{"v": 1}')  # no kernel.so next to it
+    j = Journal(str(tmp_path / "ckpt.jsonl"))
+    j.append({"a": 1})
+    j.append({"b": 2})
+    with open(tmp_path / "ckpt.jsonl", "a") as f:
+        f.write('{"c": 3} #0000000000000000\n')
+    return tmp_path
+
+
+def test_scan_classifies_every_damage_class(damaged):
+    findings = fsck.scan([str(damaged)], tmp_age_s=0)
+    assert _kinds(findings) == [
+        "corrupt-record",
+        "lock-idle",
+        "orphan-sidecar",
+        "orphan-tmp",
+        "torn-journal",
+    ]
+    assert all(f.repaired is None for f in findings)  # scan never mutates
+
+
+def test_clean_record_and_paired_sidecar_pass(tmp_path):
+    write_record(str(tmp_path / "k.meta.json"), {"v": 1})
+    open(tmp_path / "k.so", "wb").close()
+    assert fsck.scan([str(tmp_path)], tmp_age_s=0) == []
+
+
+def test_exit_codes(damaged, tmp_path, capsys):
+    assert fsck.main([str(damaged), "--tmp-age", "0"]) == 1
+    clean = tmp_path / "empty"
+    clean.mkdir()
+    assert fsck.main([str(clean)]) == 0
+    out = capsys.readouterr().out
+    assert "problem(s)" in out
+
+
+def test_repair_then_rescan_is_clean(damaged):
+    repaired = fsck.scan([str(damaged)], tmp_age_s=0, repair=True)
+    assert all(f.repaired for f in repaired if f.is_problem)
+    again = fsck.scan([str(damaged)], tmp_age_s=0)
+    assert not any(f.is_problem for f in again)
+    # repair preserved evidence (quarantine) and the journal's intact entries
+    assert any(f.kind == "quarantine-evidence" for f in again)
+    assert Journal(str(damaged / "ckpt.jsonl")).entries() == [{"a": 1}, {"b": 2}]
+    # and the good record was untouched
+    assert read_record(str(damaged / "good.json")) == {"version": 1}
+
+
+def test_purge_sweeps_evidence_and_idle_locks(damaged):
+    fsck.scan([str(damaged)], tmp_age_s=0, repair=True)
+    fsck.scan([str(damaged)], tmp_age_s=0, purge=True)
+    left = sorted(os.listdir(damaged))
+    assert left == ["ckpt.jsonl", "good.json"]
+
+
+def test_held_lock_is_reported_and_never_purged(tmp_path):
+    path = str(tmp_path / "board.json.lock")
+    with FileLock(path, timeout_s=1.0):
+        findings = fsck.scan([str(tmp_path)], purge=True)
+        assert _kinds(findings) == ["lock-held"]
+        assert os.path.exists(path)  # purge refused to touch a live lock
+
+
+def test_fresh_tmp_files_are_not_flagged(tmp_path):
+    open(tmp_path / ".stage-live.tmp", "w").close()
+    assert fsck.scan([str(tmp_path)], tmp_age_s=3600) == []
+
+
+def test_missing_path_is_informational(tmp_path):
+    findings = fsck.scan([str(tmp_path / "nope")])
+    assert _kinds(findings) == ["missing-path"]
+    assert not findings[0].is_problem
+
+
+def test_single_file_target(damaged):
+    findings = fsck.scan([str(damaged / "bad.json")])
+    assert _kinds(findings) == ["corrupt-record"]

@@ -1,0 +1,120 @@
+"""The kill -9 harness: fork a victim, SIGKILL it at a persist site, and
+prove every store reloads to the *old or new* state — never a torn hybrid."""
+
+from __future__ import annotations
+
+import glob
+import multiprocessing
+import os
+
+import pytest
+
+from repro.guard.faults import inject
+from repro.persist import Journal, read_record, write_record
+from repro.tune.results import Leaderboard
+from repro.tune.runner import Measurement
+
+mp_fork = multiprocessing.get_context("fork")
+
+
+def _run_victim(fn, *args):
+    p = mp_fork.Process(target=fn, args=args)
+    p.start()
+    p.join(60)
+    assert not p.is_alive(), f"victim {fn.__name__} hung"
+    return p.exitcode
+
+
+# -- the record store --------------------------------------------------------
+
+
+def _record_victim(path, kill_at):
+    # publish generations 0, 1, 2, ... until the fault kills us mid-publish
+    with inject("kill-mid-publish", skip=kill_at):
+        for gen in range(kill_at + 5):
+            write_record(path, {"gen": gen})
+    os._exit(0)  # pragma: no cover - the fault must have fired
+
+
+@pytest.mark.parametrize("kill_at", [0, 1, 3])
+def test_record_survives_sigkill_mid_publish(tmp_path, kill_at):
+    path = str(tmp_path / "rec.json")
+    assert _run_victim(_record_victim, path, kill_at) == -9
+    if kill_at == 0:
+        # killed before the very first publish: no record, and that is a
+        # *readable* absence, not a torn file
+        assert not os.path.exists(path)
+    else:
+        # exactly the last completed generation — old state, fully intact
+        assert read_record(path) == {"gen": kill_at - 1}
+    # the victim died holding a staged temp: crash litter, never published
+    orphans = glob.glob(str(tmp_path / ".stage-*.tmp"))
+    assert len(orphans) <= 1
+
+
+# -- the journal -------------------------------------------------------------
+
+
+def _journal_victim(path, kill_at):
+    j = Journal(path)
+    with inject("kill-mid-publish", skip=kill_at):
+        for i in range(kill_at + 5):
+            j.append({"i": i})
+    os._exit(0)  # pragma: no cover
+
+
+@pytest.mark.parametrize("kill_at", [0, 2])
+def test_journal_survives_sigkill_mid_append(tmp_path, kill_at):
+    path = str(tmp_path / "log.jsonl")
+    assert _run_victim(_journal_victim, path, kill_at) == -9
+    j = Journal(path)
+    got = j.entries()
+    # the kill fires after the line's write() — the prefix through the fatal
+    # append is intact, nothing after it exists, nothing is torn
+    assert got == [{"i": i} for i in range(kill_at + 1)]
+    assert j.torn == 0
+
+
+# -- the leaderboard ---------------------------------------------------------
+
+KEY = "deadbeef/fp/machine"
+
+
+def _board_victim(path):
+    board = Leaderboard(path)
+    board.record(KEY, Measurement({"w": 1}, time_s=0.5, repeats=1))
+    board.record(KEY, Measurement({"w": 2}, time_s=0.3, repeats=1))
+    board.save()  # publish #1 completes
+    board.record(KEY, Measurement({"w": 3}, time_s=0.1, repeats=1))
+    with inject("kill-mid-publish"):
+        board.save()  # publish #2 dies before os.replace
+    os._exit(0)  # pragma: no cover
+
+
+def test_leaderboard_reloads_to_the_last_published_state(tmp_path):
+    path = str(tmp_path / "board.json")
+    assert _run_victim(_board_victim, path) == -9
+    import warnings
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")  # any corruption warning = failure
+        board = Leaderboard(path)
+    assert {e["config"]["w"] for e in board.entries(KEY)} == {1, 2}
+    assert board.best(KEY)["config"] == {"w": 2}
+    assert not glob.glob(str(tmp_path / "*.corrupt-*"))  # nothing was torn
+
+
+# -- partial writes (the other half of crash damage) -------------------------
+
+
+@pytest.mark.chaos_tolerates("partial-write")
+def test_partial_board_save_is_quarantined_on_reload(tmp_path):
+    path = str(tmp_path / "board.json")
+    board = Leaderboard(path)
+    board.record(KEY, Measurement({"w": 1}, time_s=0.5, repeats=1))
+    with inject("partial-write", times=1):
+        board.save()
+    with pytest.warns(RuntimeWarning, match="corrupt"):
+        reloaded = Leaderboard(path)
+    assert reloaded.boards == {}  # fresh start, not decoded nonsense
+    assert glob.glob(str(tmp_path / "board.json.corrupt-*"))  # evidence kept
