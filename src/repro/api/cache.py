@@ -8,9 +8,10 @@ and its trace, so repeated scheduling in benchmarks, tests, and batch kernel
 generation is near-free.
 
 The key uses :func:`repro.ir.build.struct_hash`, which is a pure function of
-the tree's structure — its *value* is stable across edit epochs (the epoch
-only scopes the per-node memo), so a cache entry keeps hitting after
-unrelated procedures have been edited.
+the tree's structure — content, not identity — so a cache entry keeps hitting
+after unrelated procedures have been edited, and the in-memory map is safe to
+share between threads (all map and counter mutation is lock-guarded; the
+schedule service's workers hit one shared instance).
 
 ``maxsize`` bounds the in-memory map with true LRU eviction: *both* ``get``
 and ``put`` refresh an entry's recency, so a sweep that keeps re-applying
@@ -48,6 +49,7 @@ from __future__ import annotations
 
 import hashlib
 import os
+import threading
 from typing import Dict, Optional, Tuple
 
 from ..core.procedure import Procedure
@@ -76,6 +78,10 @@ class ReplayCache:
 
     def __init__(self, maxsize: Optional[int] = None, path: Optional[str] = None):
         self._store: Dict[Tuple[int, str], Tuple[Procedure, object]] = {}
+        # guards the map and the counters (LRU reordering and hit/miss
+        # bookkeeping are read-modify-write); slow disk probes and trace
+        # replays deliberately run outside it
+        self._lock = threading.Lock()
         self.maxsize = maxsize
         self.path = path
         self.hits = 0
@@ -154,22 +160,26 @@ class ReplayCache:
     def get(self, proc: Procedure, fingerprint: str):
         """The cached ``(Procedure, Trace)`` pair, or ``None`` (counted)."""
         k = self.key(proc, fingerprint)
-        hit = self._store.get(k)
-        if hit is not None:
-            self._store[k] = self._store.pop(k)  # refresh recency: true LRU
-            self.hits += 1
-            return hit
+        with self._lock:
+            hit = self._store.get(k)
+            if hit is not None:
+                self._store[k] = self._store.pop(k)  # refresh recency: true LRU
+                self.hits += 1
+                return hit
         if self.path is not None:
             got = self._disk_get(proc, fingerprint)
             if got is not None:
-                self._insert(k, got)
-                self.hits += 1
-                self.disk_hits += 1
+                with self._lock:
+                    self._insert(k, got)
+                    self.hits += 1
+                    self.disk_hits += 1
                 return got
-        self.misses += 1
+        with self._lock:
+            self.misses += 1
         return None
 
     def _insert(self, k, value) -> None:
+        # caller holds self._lock
         if k in self._store:
             self._store.pop(k)
         elif self.maxsize is not None and len(self._store) >= self.maxsize:
@@ -178,22 +188,25 @@ class ReplayCache:
         self._store[k] = value
 
     def put(self, proc: Procedure, fingerprint: str, result: Procedure, trace) -> None:
-        self._insert(self.key(proc, fingerprint), (result, trace))
+        with self._lock:
+            self._insert(self.key(proc, fingerprint), (result, trace))
         if self.path is not None:
             self._disk_put(proc, fingerprint, trace)
 
     def clear(self) -> None:
         """Drop the in-memory tier and reset counters (disk records persist
         — they are the cross-process state; remove the directory to reset)."""
-        self._store.clear()
-        self.hits = 0
-        self.misses = 0
-        self.disk_hits = 0
-        self.disk_writes = 0
-        self.disk_errors = 0
+        with self._lock:
+            self._store.clear()
+            self.hits = 0
+            self.misses = 0
+            self.disk_hits = 0
+            self.disk_writes = 0
+            self.disk_errors = 0
 
     def stats(self) -> Dict[str, int]:
-        out = {"hits": self.hits, "misses": self.misses, "entries": len(self._store)}
+        with self._lock:
+            out = {"hits": self.hits, "misses": self.misses, "entries": len(self._store)}
         if self.path is not None:
             out.update(
                 disk_hits=self.disk_hits,

@@ -53,6 +53,7 @@ import os
 import platform
 import shutil
 import subprocess
+import threading
 import tempfile
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
@@ -129,24 +130,36 @@ MAX_CACHE_ENTRIES = 256
 _stats = {"memo_hits": 0, "disk_hits": 0, "compiles": 0, "corrupt_evicted": 0, "pruned": 0}
 _memo: Dict[str, "NativeProc"] = {}
 _cc_version_memo: Dict[str, str] = {}
+# one lock for the stats counters and the in-process memo maps: increments
+# are read-modify-write and the maps are shared by every thread that compiles
+# or trust-checks an artifact (e.g. schedule-service workers)
+_lock = threading.Lock()
+
+
+def _count(counter: str) -> None:
+    with _lock:
+        _stats[counter] += 1
 
 
 def cache_stats() -> Dict[str, int]:
-    """Counters of the persistent artifact cache (process-wide)."""
-    return dict(_stats)
+    """Counters of the persistent artifact cache (process-wide, thread-safe)."""
+    with _lock:
+        return dict(_stats)
 
 
 def reset_cache_stats() -> None:
-    for k in _stats:
-        _stats[k] = 0
+    with _lock:
+        for k in _stats:
+            _stats[k] = 0
 
 
 def clear_memo() -> None:
     """Drop the in-process memos — compiled handles and artifact trust
     stamps re-resolve from disk, as a fresh process would (cached ctypes
     handles stay loaded)."""
-    _memo.clear()
-    _status_memo.clear()
+    with _lock:
+        _memo.clear()
+        _status_memo.clear()
 
 
 def cache_dir() -> str:
@@ -238,7 +251,8 @@ def artifact_meta(key: str, directory: Optional[str] = None) -> dict:
     ``"reason"`` for poisoned entries.  Missing or corrupt sidecars read as
     ``new`` (never executed on this machine)."""
     path = _meta_path(key, directory)
-    memo = _status_memo.get(path)
+    with _lock:
+        memo = _status_memo.get(path)
     if memo is not None:
         return dict(memo)
     meta = {"status": STATUS_NEW}
@@ -253,7 +267,8 @@ def artifact_meta(key: str, directory: Optional[str] = None) -> dict:
         # a torn or missing trust stamp reads as "never executed here":
         # the artifact simply re-enters quarantine, which is safe
         pass
-    _status_memo[path] = dict(meta)
+    with _lock:
+        _status_memo[path] = dict(meta)
     return meta
 
 
@@ -266,7 +281,8 @@ def _write_meta(key: str, meta: dict, directory: Optional[str] = None) -> None:
     # a trust stamp is a real persistence decision (poisoned must survive
     # kill -9), so it goes through the checksummed crash-consistent store
     write_record(_meta_path(key, directory), meta)
-    _status_memo[_meta_path(key, directory)] = dict(meta)
+    with _lock:
+        _status_memo[_meta_path(key, directory)] = dict(meta)
 
 
 def mark_validated(key: str, directory: Optional[str] = None) -> None:
@@ -286,7 +302,8 @@ def clear_artifact_status(key: str, directory: Optional[str] = None) -> None:
     """Forget an artifact's trust stamp (tests / benchmarks re-measuring the
     quarantine path)."""
     path = _meta_path(key, directory)
-    _status_memo.pop(path, None)
+    with _lock:
+        _status_memo.pop(path, None)
     try:
         os.unlink(path)
     except OSError:
@@ -295,7 +312,8 @@ def clear_artifact_status(key: str, directory: Optional[str] = None) -> None:
 
 def _evict_meta(so_path: str) -> None:
     path = so_path[: -len(".so")] + ".meta.json"
-    _status_memo.pop(path, None)
+    with _lock:
+        _status_memo.pop(path, None)
     try:
         os.unlink(path)
     except OSError:
@@ -438,7 +456,7 @@ def _prune(directory: str, keep: int) -> None:
             except OSError:
                 pass
         _evict_meta(e.path)
-        _stats["pruned"] += 1
+        _count("pruned")
 
 
 def compile_native(
@@ -462,9 +480,10 @@ def compile_native(
 
     unit = emit_unit(root, options)  # may raise CodegenError
     key = artifact_key(root, options, cc)
-    memo = _memo.get(key)
+    with _lock:
+        memo = _memo.get(key)
     if memo is not None:
-        _stats["memo_hits"] += 1
+        _count("memo_hits")
         return memo
 
     directory = directory or cache_dir()
@@ -493,12 +512,12 @@ def compile_native(
             if faults.should_fire("artifact-corrupt"):
                 raise OSError("injected corrupt artifact (fault: artifact-corrupt)")
             proc = _load(unit, so_path, key)
-            _stats["disk_hits"] += 1
+            _count("disk_hits")
             os.utime(so_path)  # LRU touch
         except OSError:
             # corrupt or truncated artifact: evict and rebuild.  The trust
             # stamp goes with it — a rebuilt binary re-enters quarantine.
-            _stats["corrupt_evicted"] += 1
+            _count("corrupt_evicted")
             try:
                 os.unlink(so_path)
             except OSError:
@@ -507,13 +526,14 @@ def compile_native(
     if proc is None:
         write_text_atomic(c_path, unit.source)
         _build(cc, options, c_path, so_path)
-        _stats["compiles"] += 1
+        _count("compiles")
         try:
             proc = _load(unit, so_path, key)
         except OSError as exc:
             raise NativeUnavailableError(f"cannot load freshly built {so_path}: {exc}") from exc
         _prune(directory, MAX_CACHE_ENTRIES)
-    _memo[key] = proc
+    with _lock:
+        _memo[key] = proc
     return proc
 
 

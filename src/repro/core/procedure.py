@@ -10,6 +10,7 @@ Section 5.1).
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from ..cursors.cursor import (
@@ -41,8 +42,41 @@ class Procedure:
     #: into this procedure's frame produces an :class:`InvalidCursor`.  The
     #: schedule-trace recorder (:mod:`repro.api.trace`) subscribes here so an
     #: invalidation surfaces as a structured warning instead of being
-    #: silently dropped by validity-checking library code.
-    _invalidation_observers: List[Callable] = []
+    #: silently dropped by validity-checking library code.  The registry is
+    #: thread-local: a recorder active in one thread (e.g. one schedule-service
+    #: worker) never observes invalidations from schedules running in another.
+    _observer_state = threading.local()
+
+    class _ObserverList:
+        """Class-attribute shim presenting the thread-local observer list with
+        plain list methods (``append``/``remove``/iteration)."""
+
+        __slots__ = ()
+
+        @staticmethod
+        def _list() -> List[Callable]:
+            state = Procedure._observer_state
+            lst = getattr(state, "observers", None)
+            if lst is None:
+                lst = state.observers = []
+            return lst
+
+        def append(self, obs: Callable) -> None:
+            self._list().append(obs)
+
+        def remove(self, obs: Callable) -> None:
+            self._list().remove(obs)
+
+        def __iter__(self):
+            return iter(self._list())
+
+        def __len__(self) -> int:
+            return len(self._list())
+
+        def __bool__(self) -> bool:
+            return bool(self._list())
+
+    _invalidation_observers = _ObserverList()
 
     def __init__(
         self,
@@ -67,6 +101,13 @@ class Procedure:
 
     def is_instr(self) -> bool:
         return self._root.instr is not None
+
+    def edit_epoch(self) -> int:
+        """This version's lineage epoch: the number of atomic edits between
+        the original ``@proc`` definition and this version (0 for a freshly
+        parsed procedure).  Per-procedure — editing one procedure never moves
+        another's epoch (see :mod:`repro.ir.nodes`)."""
+        return N.edit_epoch(self._root)
 
     def instr_str(self) -> Optional[str]:
         return self._root.instr.c_instr if self._root.instr else None

@@ -24,6 +24,7 @@ Reason strings are stable identifiers, not prose — the interesting ones:
 
 from __future__ import annotations
 
+import threading
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional
@@ -64,6 +65,9 @@ class FallbackEvent:
 
 _events: Deque[FallbackEvent] = deque(maxlen=MAX_EVENTS)
 _counts: Dict[str, int] = {}
+# counter increments are read-modify-write; a lock keeps totals exact when
+# several threads degrade at once (e.g. schedule-service workers)
+_lock = threading.Lock()
 
 
 def record_fallback(
@@ -73,10 +77,11 @@ def record_fallback(
     artifact_key: Optional[str] = None,
     detail: str = "",
 ) -> FallbackEvent:
-    """Record one degradation step and return the event."""
+    """Record one degradation step and return the event.  Thread-safe."""
     ev = FallbackEvent(proc, stage, reason, artifact_key, detail)
-    _events.append(ev)
-    _counts[reason] = _counts.get(reason, 0) + 1
+    with _lock:
+        _events.append(ev)
+        _counts[reason] = _counts.get(reason, 0) + 1
     return ev
 
 
@@ -84,17 +89,21 @@ def fallback_events(reason: Optional[str] = None) -> List[FallbackEvent]:
     """The recorded events, newest last (optionally filtered by reason).
     Only the most recent :data:`MAX_EVENTS` are kept; :func:`fallback_counts`
     keeps exact totals."""
+    with _lock:
+        events = list(_events)
     if reason is None:
-        return list(_events)
-    return [e for e in _events if e.reason == reason]
+        return events
+    return [e for e in events if e.reason == reason]
 
 
 def fallback_counts() -> Dict[str, int]:
     """Exact per-reason totals since the last :func:`clear_fallback_events`
     (not bounded by the event ring buffer)."""
-    return dict(_counts)
+    with _lock:
+        return dict(_counts)
 
 
 def clear_fallback_events() -> None:
-    _events.clear()
-    _counts.clear()
+    with _lock:
+        _events.clear()
+        _counts.clear()

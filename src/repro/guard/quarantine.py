@@ -34,6 +34,7 @@ import math
 import os
 import signal
 import sys
+import threading
 import time
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional
@@ -55,16 +56,26 @@ DEFAULT_TIMEOUT_S = 30.0
 _EXIT_ERROR = 17  # child died on a Python exception (message on the pipe)
 
 _stats = {"guarded_runs": 0, "ok": 0, "crash": 0, "timeout": 0, "error": 0}
+# increments are read-modify-write; a lock keeps them exact under threads
+_stats_lock = threading.Lock()
+
+
+def _count(outcome: str) -> None:
+    with _stats_lock:
+        _stats[outcome] += 1
 
 
 def guard_stats() -> Dict[str, int]:
-    """Counters of quarantined first runs and their outcomes (process-wide)."""
-    return dict(_stats)
+    """Counters of quarantined first runs and their outcomes (process-wide,
+    thread-safe)."""
+    with _stats_lock:
+        return dict(_stats)
 
 
 def reset_guard_stats() -> None:
-    for k in _stats:
-        _stats[k] = 0
+    with _stats_lock:
+        for k in _stats:
+            _stats[k] = 0
 
 
 def guard_enabled() -> bool:
@@ -148,19 +159,19 @@ def run_guarded(fn: Callable[[], None], timeout_s: Optional[float] = None) -> Gu
     """
     if timeout_s is None:
         timeout_s = guard_timeout_s()
-    _stats["guarded_runs"] += 1
+    _count("guarded_runs")
     if not hasattr(os, "fork"):
         # no isolation possible; run in-process and say so
         t0 = time.perf_counter()
         try:
             fn()
         except BaseException as exc:  # noqa: BLE001
-            _stats["error"] += 1
+            _count("error")
             return GuardReport(
                 "error", error=f"{type(exc).__name__}: {exc}",
                 elapsed_s=time.perf_counter() - t0, forked=False,
             )
-        _stats["ok"] += 1
+        _count("ok")
         return GuardReport("ok", elapsed_s=time.perf_counter() - t0, forked=False)
 
     sys.stdout.flush()
@@ -201,11 +212,11 @@ def run_guarded(fn: Callable[[], None], timeout_s: Optional[float] = None) -> Gu
     message = b"".join(chunks).decode("utf-8", "replace")
 
     if timed_out:
-        _stats["timeout"] += 1
+        _count("timeout")
         return GuardReport("timeout", elapsed_s=elapsed,
                            error=f"watchdog timeout after {timeout_s:g}s")
     if os.WIFSIGNALED(status):
-        _stats["crash"] += 1
+        _count("crash")
         sig = os.WTERMSIG(status)
         try:
             name = signal.Signals(sig).name
@@ -215,13 +226,13 @@ def run_guarded(fn: Callable[[], None], timeout_s: Optional[float] = None) -> Gu
                            error=f"killed by {name}")
     code = os.WEXITSTATUS(status)
     if code == 0:
-        _stats["ok"] += 1
+        _count("ok")
         return GuardReport("ok", elapsed_s=elapsed)
     if code == _EXIT_ERROR:
-        _stats["error"] += 1
+        _count("error")
         return GuardReport("error", error=message or "exception in guarded child",
                            elapsed_s=elapsed)
     # an unexplained nonzero exit is as untrustworthy as a signal death
-    _stats["crash"] += 1
+    _count("crash")
     return GuardReport("crash", elapsed_s=elapsed,
                        error=f"guarded child exited with status {code}")

@@ -9,6 +9,7 @@ retried — the caller only routes :class:`OSError`-shaped failures here.
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Callable, Dict, Tuple, Type, TypeVar
 
@@ -17,15 +18,20 @@ __all__ = ["with_retry", "retry_stats", "reset_retry_stats"]
 T = TypeVar("T")
 
 _stats: Dict[str, int] = {}
+# increments are read-modify-write; exact totals under concurrent retries
+_lock = threading.Lock()
 
 
 def retry_stats() -> Dict[str, int]:
-    """``{operation label: number of retried attempts}`` (process-wide)."""
-    return dict(_stats)
+    """``{operation label: number of retried attempts}`` (process-wide,
+    thread-safe)."""
+    with _lock:
+        return dict(_stats)
 
 
 def reset_retry_stats() -> None:
-    _stats.clear()
+    with _lock:
+        _stats.clear()
 
 
 def with_retry(
@@ -48,6 +54,7 @@ def with_retry(
         except retry_on:
             if i == attempts - 1:
                 raise
-            _stats[label] = _stats.get(label, 0) + 1
+            with _lock:
+                _stats[label] = _stats.get(label, 0) + 1
             time.sleep(min(max_delay_s, base_delay_s * (2**i)))
     raise AssertionError("unreachable")

@@ -78,6 +78,7 @@ called from many scheduled kernels) share one compiled callable.
 from __future__ import annotations
 
 import os
+import threading
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
@@ -243,10 +244,26 @@ class CompiledProc:
 # Cache
 # ---------------------------------------------------------------------------
 
-_CACHE: Dict[Tuple[int, int, int], CompiledProc] = {}
-_CACHE_EPOCH = [N.mutation_epoch()]
+# The compiled-code cache is content-addressed (structural hash + alpha
+# signature + argument types + inliner flag), so entries stay valid across
+# edits — editing never mutates a published root in place (see
+# ``struct_hash``'s contract in ir.build).  A lock guards the map itself so
+# concurrent threads (e.g. schedule-service workers) can compile and run
+# procedures in parallel; compilation happens *outside* the lock, so two
+# threads may race to compile the same key and one result wins — wasted work,
+# never a wrong answer.
+_CACHE: Dict[Tuple[int, int, int, bool], CompiledProc] = {}
+_CACHE_LOCK = threading.Lock()
 _CACHE_LIMIT = 512
-_IN_PROGRESS: Set[int] = set()
+# recursion detection is per call stack, hence per thread
+_TLS = threading.local()
+
+
+def _in_progress() -> Set[int]:
+    ids = getattr(_TLS, "in_progress", None)
+    if ids is None:
+        ids = _TLS.in_progress = set()
+    return ids
 
 
 def _alias_sig(root: N.ProcDef) -> int:
@@ -254,13 +271,13 @@ def _alias_sig(root: N.ProcDef) -> int:
 
     ``struct_hash`` compares symbols by *name*; two trees can hash equally yet
     bind same-named symbols differently.  Combining the hash with this
-    signature makes the cache key alpha-exact.  Memoised per mutation epoch on
-    the root (roots are never mutated in place between epoch bumps).
+    signature makes the cache key alpha-exact.  Memoised on the root —
+    permanently, like the structural hash, because published roots are never
+    mutated in place.
     """
     cached = getattr(root, "_alias_sig_cache", None)
-    epoch = N.mutation_epoch()
-    if cached is not None and cached[0] == epoch:
-        return cached[1]
+    if cached is not None:
+        return cached
     first: Dict[Sym, int] = {}
 
     def key_of(sym: Sym) -> int:
@@ -277,7 +294,7 @@ def _alias_sig(root: N.ProcDef) -> int:
         elif isinstance(n, N.For):
             sig.append(key_of(n.iter))
     h = hash(tuple(sig))
-    root._alias_sig_cache = (epoch, h)
+    root._alias_sig_cache = h
     return h
 
 
@@ -317,21 +334,15 @@ def compile_proc(procedure, *, inline: Optional[bool] = None) -> CompiledProc:
     """
     root = getattr(procedure, "_root", procedure)
     inl = _inline_enabled(inline)
-    # the documented contract: an epoch bump (one per atomic edit) invalidates
-    # the cache, so entries can never outlive an in-place tree mutation.
-    # Bumps happen while *scheduling*, compilation while *running*, so this
-    # rarely discards a warm cache mid-test.
-    epoch = N.mutation_epoch()
-    if _CACHE_EPOCH[0] != epoch:
-        _CACHE.clear()
-        _CACHE_EPOCH[0] = epoch
     key = (struct_hash(root), _alias_sig(root), _arg_type_token(root), inl)
-    hit = _CACHE.get(key)
+    with _CACHE_LOCK:
+        hit = _CACHE.get(key)
     if hit is not None:
         return hit
-    if id(root) in _IN_PROGRESS:
+    in_progress = _in_progress()
+    if id(root) in in_progress:
         raise CompileError(f"recursive call cycle through {root.name}")
-    _IN_PROGRESS.add(id(root))
+    in_progress.add(id(root))
     try:
         work, n_inlined = (_inline_procedure(root) if inl else (root, 0))
         engine = _Lowerer(work, inline=inl).compile()
@@ -341,10 +352,11 @@ def compile_proc(procedure, *, inline: Optional[bool] = None) -> CompiledProc:
     except Exception as exc:  # defensive: never let lowering bugs kill a run
         raise CompileError(f"cannot lower {root.name}: {type(exc).__name__}: {exc}") from exc
     finally:
-        _IN_PROGRESS.discard(id(root))
-    if len(_CACHE) >= _CACHE_LIMIT:
-        _CACHE.clear()
-    _CACHE[key] = engine
+        in_progress.discard(id(root))
+    with _CACHE_LOCK:
+        if len(_CACHE) >= _CACHE_LIMIT:
+            _CACHE.clear()
+        _CACHE[key] = engine
     return engine
 
 
@@ -354,7 +366,8 @@ def compiled_source(procedure, *, inline: Optional[bool] = None) -> str:
 
 
 def clear_compile_cache() -> None:
-    _CACHE.clear()
+    with _CACHE_LOCK:
+        _CACHE.clear()
 
 
 # ---------------------------------------------------------------------------

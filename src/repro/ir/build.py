@@ -323,46 +323,48 @@ def struct_hash(node) -> int:
     expression result types are ignored except on allocations, mirroring the
     equality relation.
 
-    Hashes are cached per node; the cache is flushed whenever the edit engine
-    records an atomic edit (see :func:`repro.ir.nodes.mutation_epoch`).
-    Contract: do **not** mutate a subtree in place after hashing it within the
-    same epoch — the codebase's convention of mutating only freshly copied
-    nodes (which carry no memo) upholds this automatically.
+    The memo is permanent: once a node is hashed its cached value stays valid
+    for the node's lifetime.  This rests on the tree-immutability convention —
+    in-place mutation is only ever performed on freshly copied nodes, which
+    carry no memo (``_shallow_copy`` rebuilds through the constructor), so a
+    memoised node is never mutated.  There is deliberately no global epoch to
+    invalidate against: the memo is content, not a snapshot, which also makes
+    it safe to compute from concurrent threads (the worst race is two threads
+    storing the same value).
 
     Consumers: besides structural-equality pruning, the compiled execution
     engine (:mod:`repro.interp.compile`) keys its code cache on this hash (plus
-    an alpha-identity signature), so an epoch bump transparently invalidates
-    compiled callables for any tree edited in place.
+    an alpha-identity signature), and the replay cache keys scheduled results
+    on it.
     """
-    return _struct_hash(node, N.mutation_epoch())
+    return _struct_hash(node)
 
 
-def _struct_hash(v, epoch: int) -> int:
+def _struct_hash(v) -> int:
     if v is None:
         return _NONE_HASH
     if isinstance(v, Sym):
         return hash(v.name)
     if isinstance(v, list):
-        return hash(tuple(_struct_hash(x, epoch) for x in v))
+        return hash(tuple(_struct_hash(x) for x in v))
     if isinstance(v, ScalarType):
         return hash(v)
     if isinstance(v, TensorType):
         return hash(
-            ("<tensor>", hash(v.base), v.is_window, tuple(_struct_hash(e, epoch) for e in v.shape))
+            ("<tensor>", hash(v.base), v.is_window, tuple(_struct_hash(e) for e in v.shape))
         )
     if isinstance(v, N.Node):
         cached = getattr(v, "_shash_cache", None)
-        if cached is not None and cached[0] == epoch:
-            return cached[1]
+        if cached is not None:
+            return cached
         parts = [hash(type(v).__name__)]
         for f in dataclasses.fields(v):
             if f.name == "typ" and not isinstance(v, N.Alloc):
                 continue
-            parts.append(_struct_hash(getattr(v, f.name), epoch))
+            parts.append(_struct_hash(getattr(v, f.name)))
         h = hash(tuple(parts))
-        # the memo is plain instance state; nothing invalidates it except the
-        # epoch moving on (bumped per atomic edit by the edit engine)
-        v._shash_cache = (epoch, h)
+        # plain instance state; never invalidated (see struct_hash's contract)
+        v._shash_cache = h
         return h
     try:
         return hash(v)
@@ -379,7 +381,7 @@ def structurally_equal(a, b, *, match_sym_names: bool = False) -> bool:
 
     Two fast paths avoid re-walking shared subtrees: identical objects are
     equal by definition (the functional-update helpers share unchanged
-    subtrees between versions), and fresh memoised structural hashes (see
+    subtrees between versions), and memoised structural hashes (see
     :func:`struct_hash`) that differ prove inequality without a field-by-field
     walk.  Hashes are only consulted when already cached — equality never pays
     to compute them — so warming the cache is the caller's choice.
@@ -409,7 +411,7 @@ def structurally_equal(a, b, *, match_sym_names: bool = False) -> bool:
     ca = getattr(a, "_shash_cache", None)
     if ca is not None:
         cb = getattr(b, "_shash_cache", None)
-        if cb is not None and ca[0] == cb[0] == N.mutation_epoch() and ca[1] != cb[1]:
+        if cb is not None and ca != cb:
             return False
     for f in dataclasses.fields(a):
         if f.name in ("typ",) and not isinstance(a, (N.Alloc,)):

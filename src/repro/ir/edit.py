@@ -225,9 +225,6 @@ class EditSession:
             raise RuntimeError("EditSession already finished")
         self._root = edit.apply(self._root)
         self._trace.add(edit)
-        # every atomic edit flushes the memoised structural hashes (coarse but
-        # cheap; see struct_hash's contract in ir.build)
-        nodes_mod.bump_mutation_epoch()
 
     # -- transaction end -------------------------------------------------------
 
@@ -244,4 +241,11 @@ class EditSession:
         from ..primitives.counter import record_atomic_edits
 
         record_atomic_edits(len(self._trace))
+        # stamp the derived root's lineage epoch: parent's epoch + the atomic
+        # edits this session recorded.  Per-procedure, so concurrent edits of
+        # unrelated procedures never observe each other (see ir.nodes).
+        if self._root is not self._proc._root:
+            nodes_mod.set_edit_epoch(
+                self._root, nodes_mod.edit_epoch(self._proc._root) + len(self._trace)
+            )
         return self._proc._derive(self._root, self._trace.forward_fn(), edit_trace=self._trace)

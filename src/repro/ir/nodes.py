@@ -30,8 +30,8 @@ from .types import ScalarType, TensorType, bool_t, index_t, int_t
 
 __all__ = [
     "Node",
-    "mutation_epoch",
-    "bump_mutation_epoch",
+    "edit_epoch",
+    "set_edit_epoch",
     "Expr",
     "Stmt",
     "Const",
@@ -64,28 +64,33 @@ __all__ = [
 Type = Union[ScalarType, TensorType]
 
 
-# Global mutation epoch.  Cached structural hashes (see
-# :func:`repro.ir.build.struct_hash`) record the epoch at which they were
-# computed and are discarded when it has moved on.  The edit engine
-# (:class:`repro.ir.edit.EditSession`) bumps the epoch once per atomic edit,
-# which is deliberately coarse — any edit flushes every cache — but keeps node
-# construction and in-place field assignment free of bookkeeping.  In-place
-# mutation between bumps is only performed on freshly copied nodes, which
-# carry no memo, so caches never go stale (see ``struct_hash``'s contract).
-_mutation_epoch = 0
+# Per-procedure edit epochs.  Each ``ProcDef`` root carries an ``edit_epoch``
+# counter (stored as plain instance state, not a dataclass field, so it never
+# participates in structural hashing or equality): the number of atomic edits
+# in its lineage since the original ``@proc`` definition.  The edit engine
+# (:class:`repro.ir.edit.EditSession`) stamps it on every derived root.
+#
+# Unlike the global mutation epoch this scheme replaced, bumping one
+# procedure's epoch invalidates nothing anywhere else — memoised structural
+# hashes (see :func:`repro.ir.build.struct_hash`) and the compiled-code cache
+# (:mod:`repro.interp.compile`) are content-addressed and stay valid across
+# edits, which is what makes them safe to share between threads.  The epoch is
+# an observable version counter (service observability, cache diagnostics,
+# tests), not an invalidation broadcast.  Correctness of the memos rests on
+# the tree-immutability convention instead: in-place mutation is only ever
+# performed on freshly copied nodes, which carry no memo (``_shallow_copy``
+# rebuilds through the constructor), so memos never go stale.
 
 
-def mutation_epoch() -> int:
-    """The current global IR mutation epoch (see module comment above)."""
-    return _mutation_epoch
+def edit_epoch(root) -> int:
+    """The number of atomic edits in ``root``'s lineage (0 for a freshly
+    parsed procedure)."""
+    return getattr(root, "_edit_epoch", 0)
 
 
-def bump_mutation_epoch() -> None:
-    """Invalidate every memoised structural hash (and, transitively, every
-    cache keyed on one — e.g. the compiled execution engine's code cache in
-    :mod:`repro.interp.compile`)."""
-    global _mutation_epoch
-    _mutation_epoch += 1
+def set_edit_epoch(root, value: int) -> None:
+    """Stamp a derived root's lineage epoch (edit-engine internal)."""
+    root._edit_epoch = int(value)
 
 
 class Node:

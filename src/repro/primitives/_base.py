@@ -91,6 +91,7 @@ is indistinguishable from built-in vocabulary — the paper's Section 6 story.
 from __future__ import annotations
 
 import functools
+import threading
 from typing import Callable, List, Optional, Union
 
 from ..core.procedure import Procedure
@@ -145,23 +146,32 @@ PRIMITIVE_REGISTRY: dict = {}
 # Active schedule-trace recorders (see repro.api.trace.TraceRecorder).  Only
 # *outermost* primitive invocations are reported — a primitive built on other
 # primitives records as one trace entry, and replaying it re-performs the
-# nested work.
-_TRACE_RECORDERS: List[object] = []
+# nested work.  The stack is thread-local: a recorder observes only the
+# primitives applied by the thread that activated it, so concurrent schedule
+# applications (e.g. schedule-service workers) record disjoint traces.
+_tls = threading.local()
+
+
+def _recorders() -> List[object]:
+    stack = getattr(_tls, "trace_recorders", None)
+    if stack is None:
+        stack = _tls.trace_recorders = []
+    return stack
 
 
 def push_trace_recorder(recorder) -> None:
-    _TRACE_RECORDERS.append(recorder)
+    _recorders().append(recorder)
 
 
 def pop_trace_recorder(recorder) -> None:
     try:
-        _TRACE_RECORDERS.remove(recorder)
+        _recorders().remove(recorder)
     except ValueError:
         pass
 
 
 def active_trace_recorders() -> List[object]:
-    return list(_TRACE_RECORDERS)
+    return list(_recorders())
 
 
 def _annotate_error(err: Exception, primitive: str) -> None:
@@ -185,7 +195,8 @@ def scheduling_primitive(fn: Callable) -> Callable:
                 f"{fn.__name__}: first argument must be a Procedure, got {type(proc).__name__}"
             )
         record_rewrite(fn.__name__)
-        recorders = _TRACE_RECORDERS if (_TRACE_RECORDERS and primitive_depth() == 0) else ()
+        active = _recorders()
+        recorders = active if (active and primitive_depth() == 0) else ()
         entries = [(r, r.begin(fn.__name__, proc, args, kwargs)) for r in recorders]
         push_current_primitive(fn.__name__)
         try:

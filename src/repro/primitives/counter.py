@@ -8,10 +8,17 @@ write by hand.  Every scheduling primitive reports itself here, and the
 metrics reflect the real edit traffic rather than just call counts.  The
 counter can be scoped with :class:`count_rewrites` to attribute rewrites to a
 specific kernel's scheduling run.
+
+Thread model: the *primitive stack* and the :class:`count_rewrites` scopes
+are thread-local — a scope counts only the rewrites performed by the thread
+that opened it, and nesting depth in one schedule-service worker never makes
+another worker's outermost primitive look nested.  The process-wide totals
+are shared across threads and lock-guarded.
 """
 
 from __future__ import annotations
 
+import threading
 from contextlib import ContextDecorator
 from typing import Dict, List, Optional
 
@@ -33,16 +40,32 @@ _global_count = 0
 _global_atomic = 0
 _per_primitive: Dict[str, int] = {}
 _atomic_per_primitive: Dict[str, int] = {}
-_primitive_stack: List[str] = []
-_active_scopes: List["count_rewrites"] = []
+_lock = threading.Lock()
+
+_tls = threading.local()
+
+
+def _primitive_stack() -> List[str]:
+    stack = getattr(_tls, "primitive_stack", None)
+    if stack is None:
+        stack = _tls.primitive_stack = []
+    return stack
+
+
+def _active_scopes() -> List["count_rewrites"]:
+    scopes = getattr(_tls, "active_scopes", None)
+    if scopes is None:
+        scopes = _tls.active_scopes = []
+    return scopes
 
 
 def record_rewrite(primitive_name: str) -> None:
     """Record one application of a scheduling primitive."""
     global _global_count
-    _global_count += 1
-    _per_primitive[primitive_name] = _per_primitive.get(primitive_name, 0) + 1
-    for scope in _active_scopes:
+    with _lock:
+        _global_count += 1
+        _per_primitive[primitive_name] = _per_primitive.get(primitive_name, 0) + 1
+    for scope in _active_scopes():
         scope.total += 1
         scope.by_primitive[primitive_name] = scope.by_primitive.get(primitive_name, 0) + 1
 
@@ -51,22 +74,25 @@ def push_current_primitive(primitive_name: str) -> None:
     """Mark ``primitive_name`` as the running primitive (for atomic-edit
     attribution).  Paired with :func:`pop_current_primitive` by the
     ``@scheduling_primitive`` decorator; nesting is supported."""
-    _primitive_stack.append(primitive_name)
+    _primitive_stack().append(primitive_name)
 
 
 def pop_current_primitive() -> None:
-    if _primitive_stack:
-        _primitive_stack.pop()
+    stack = _primitive_stack()
+    if stack:
+        stack.pop()
 
 
 def current_primitive() -> Optional[str]:
-    """The innermost primitive currently executing (or ``None``)."""
-    return _primitive_stack[-1] if _primitive_stack else None
+    """The innermost primitive currently executing in this thread (or
+    ``None``)."""
+    stack = _primitive_stack()
+    return stack[-1] if stack else None
 
 
 def primitive_depth() -> int:
-    """How many primitive invocations are currently on the stack."""
-    return len(_primitive_stack)
+    """How many primitive invocations are on this thread's stack."""
+    return len(_primitive_stack())
 
 
 def record_atomic_edits(n: int) -> None:
@@ -77,33 +103,37 @@ def record_atomic_edits(n: int) -> None:
     if n <= 0:
         return
     global _global_atomic
-    _global_atomic += n
-    name = _primitive_stack[-1] if _primitive_stack else "<direct>"
-    _atomic_per_primitive[name] = _atomic_per_primitive.get(name, 0) + n
-    for scope in _active_scopes:
+    name = current_primitive() or "<direct>"
+    with _lock:
+        _global_atomic += n
+        _atomic_per_primitive[name] = _atomic_per_primitive.get(name, 0) + n
+    for scope in _active_scopes():
         scope.atomic_edits += n
         scope.atomic_by_primitive[name] = scope.atomic_by_primitive.get(name, 0) + n
 
 
 def global_rewrite_count() -> int:
-    return _global_count
+    with _lock:
+        return _global_count
 
 
 def global_atomic_edit_count() -> int:
-    return _global_atomic
+    with _lock:
+        return _global_atomic
 
 
 def reset_global_count() -> None:
     global _global_count, _global_atomic
-    _global_count = 0
-    _global_atomic = 0
-    _per_primitive.clear()
-    _atomic_per_primitive.clear()
+    with _lock:
+        _global_count = 0
+        _global_atomic = 0
+        _per_primitive.clear()
+        _atomic_per_primitive.clear()
 
 
 class count_rewrites(ContextDecorator):
     """Context manager counting primitive rewrites (and the atomic edits they
-    decompose into) performed inside it."""
+    decompose into) performed inside it, by the thread that opened it."""
 
     def __init__(self, label: Optional[str] = None):
         self.label = label
@@ -117,9 +147,12 @@ class count_rewrites(ContextDecorator):
         self.atomic_edits = 0
         self.by_primitive = {}
         self.atomic_by_primitive = {}
-        _active_scopes.append(self)
+        _active_scopes().append(self)
         return self
 
     def __exit__(self, *exc) -> bool:
-        _active_scopes.remove(self)
+        try:
+            _active_scopes().remove(self)
+        except ValueError:
+            pass
         return False

@@ -149,6 +149,7 @@ class Tuner:
         seed: int = 0,
         cache: Optional[ReplayCache] = None,
         leaderboard: Optional[Leaderboard] = None,
+        backend: Optional[str] = None,
         timeout_s: Optional[float] = None,
         checkpoint: Optional[str] = None,
     ):
@@ -176,6 +177,7 @@ class Tuner:
             seed=seed,
             cache=cache,
             swept=space.names(),
+            backend=backend,
             timeout_s=timeout_s,
         )
 
@@ -412,7 +414,7 @@ def autotune(
     Keyword arguments split between the two: ``repeats``/``seed``/``cache``
     configure measurement, everything else is forwarded to :meth:`Tuner.tune`.
     """
-    init_keys = {"repeats", "seed", "cache", "timeout_s", "checkpoint"}
+    init_keys = {"repeats", "seed", "cache", "backend", "timeout_s", "checkpoint"}
     init = {k: v for k, v in kwargs.items() if k in init_keys}
     rest = {k: v for k, v in kwargs.items() if k not in init_keys}
     return Tuner(proc, schedule, space, size_env, leaderboard=leaderboard, **init).tune(

@@ -1,0 +1,209 @@
+"""Concurrency regression tests for the epoch-free caching scheme.
+
+The schedule service applies schedules on a thread pool, so every shared
+structure it leans on is hammered here from real threads: concurrent
+``Procedure`` edits (structural-hash memos, the compile cache, the rewrite
+counters), the per-procedure edit epochs that replaced the old process-global
+epoch, and the exact lock-guarded telemetry counters
+(``exec_stats()`` / ``retry_stats()``)."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.api import S, knob, seq
+from repro.api.trace import state_hash
+from repro.guard.events import clear_fallback_events, fallback_counts, record_fallback
+from repro.guard.retry import reset_retry_stats, retry_stats, with_retry
+from repro.interp import exec_stats
+from repro.primitives import counter
+
+
+def _run_threads(n, fn):
+    errors = []
+    barrier = threading.Barrier(n)
+
+    def wrapped(i):
+        try:
+            barrier.wait()
+            fn(i)
+        except Exception as exc:  # noqa: BLE001
+            errors.append((i, exc))
+
+    threads = [threading.Thread(target=wrapped, args=(i,)) for i in range(n)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=120)
+    assert not errors, errors
+
+
+# -- concurrent Procedure edits ----------------------------------------------
+
+
+def test_concurrent_edits_of_one_procedure_are_race_free(axpy):
+    """8 threads × 25 rounds of divide+unroll on the SAME base Procedure.
+
+    Procedures are immutable values: every thread must get the exact result
+    a single-threaded run gets, no torn trees, no cross-thread memo damage."""
+    sched = lambda w: seq(  # noqa: E731
+        S.divide_loop("i", 16, ["io", "ii"]),
+        S.divide_loop("ii", w, ["iio", "iii"]),
+        S.unroll_loop("iii"),
+    )
+    expected = {w: state_hash(sched(w).apply(axpy, {})) for w in (2, 4, 8)}
+
+    def work(i):
+        w = (2, 4, 8)[i % 3]
+        for _ in range(25):
+            out = sched(w).apply(axpy, {})
+            assert state_hash(out) == expected[w]
+            # the base is never perturbed by other threads' edits
+            assert axpy.edit_epoch() == 0
+
+    _run_threads(8, work)
+
+
+def test_concurrent_knobbed_schedules_with_scoped_counters(axpy):
+    """count_rewrites scopes are thread-local: a scope sees exactly its own
+    thread's rewrites even while 7 other threads schedule concurrently."""
+    sched = seq(
+        S.divide_loop("i", 16, ["io", "ii"]),
+        S.divide_loop("ii", knob("w", 4, choices=(2, 4, 8)), ["iio", "iii"]),
+    )
+    with counter.count_rewrites() as reference:
+        sched.apply(axpy, {"w": 4})
+    per_run = reference.total
+    assert per_run > 0
+
+    def work(i):
+        for _ in range(10):
+            with counter.count_rewrites() as scope:
+                sched.apply(axpy, {"w": (2, 4, 8)[i % 3]})
+            assert scope.total == per_run, (scope.total, per_run)
+
+    _run_threads(8, work)
+
+
+def test_edit_epochs_are_per_procedure(axpy, gemv):
+    """Editing one procedure never perturbs another's epoch — the property
+    the old process-global epoch could not provide."""
+    assert axpy.edit_epoch() == 0 and gemv.edit_epoch() == 0
+    out1, trace1 = S.divide_loop("i", 16, ["io", "ii"]).apply_traced(axpy, {})
+    assert out1.edit_epoch() > 0
+    assert axpy.edit_epoch() == 0  # the parent is untouched
+    assert gemv.edit_epoch() == 0  # unrelated procedures are untouched
+
+    # a derived procedure's epoch grows monotonically with further edits
+    out2 = S.unroll_loop("ii").apply(out1, {})
+    assert out2.edit_epoch() > out1.edit_epoch()
+
+
+def test_structural_hash_memo_is_stable_across_threads(axpy):
+    """state_hash answers must agree from every thread (the permanent
+    ``_shash_cache`` memo can be filled by racing threads — same value)."""
+    results = [None] * 8
+
+    def work(i):
+        results[i] = state_hash(axpy)
+
+    _run_threads(8, work)
+    assert len(set(results)) == 1
+
+
+# -- exact telemetry counters ------------------------------------------------
+
+
+def test_fallback_counts_are_exact_under_threaded_hammering():
+    clear_fallback_events()
+    try:
+        per_thread, n = 500, 8
+
+        def work(i):
+            for _ in range(per_thread):
+                record_fallback("p", "c->compiled", "stress-test")
+
+        _run_threads(n, work)
+        assert fallback_counts() == {"stress-test": per_thread * n}
+        assert exec_stats()["fallbacks"] == {"stress-test": per_thread * n}
+    finally:
+        clear_fallback_events()
+
+
+def test_retry_stats_are_exact_under_threaded_hammering():
+    reset_retry_stats()
+    try:
+        per_thread, n = 100, 8
+
+        def work(i):
+            for _ in range(per_thread):
+                attempts = [0]
+
+                def flaky():
+                    attempts[0] += 1
+                    if attempts[0] == 1:
+                        raise OSError("transient")
+                    return "ok"
+
+                assert (
+                    with_retry(flaky, attempts=2, base_delay_s=0, label="stress") == "ok"
+                )
+
+        _run_threads(n, work)
+        # exactly one retried attempt per with_retry call
+        assert retry_stats() == {"stress": per_thread * n}
+    finally:
+        reset_retry_stats()
+
+
+def test_global_rewrite_counter_is_exact_under_threads(axpy):
+    counter.reset_global_count()
+    try:
+        with counter.count_rewrites() as ref:
+            S.divide_loop("i", 16, ["io", "ii"]).apply(axpy, {})
+        per_apply = ref.total
+        counter.reset_global_count()
+        per_thread, n = 20, 8
+
+        def work(i):
+            for _ in range(per_thread):
+                S.divide_loop("i", 16, ["io", "ii"]).apply(axpy, {})
+
+        _run_threads(n, work)
+        assert counter.global_rewrite_count() == per_apply * per_thread * n
+    finally:
+        counter.reset_global_count()
+
+
+# -- the compile cache -------------------------------------------------------
+
+
+def test_concurrent_compilation_of_the_same_procedure(axpy):
+    """Racing threads may both compile (the lock covers the map, not the
+    compile) but every thread must get a working, consistent executable."""
+    import numpy as np
+
+    from repro.interp import run_proc
+
+    def work(i):
+        rng = np.random.default_rng(i)
+        x = rng.standard_normal(64, dtype=np.float32)
+        y = rng.standard_normal(64, dtype=np.float32)
+        expect = y + 2.0 * x
+        run_proc(axpy, n=64, a=np.float32(2.0), x=x, y=y)
+        np.testing.assert_allclose(y, expect, rtol=1e-5)
+
+    _run_threads(8, work)
+
+
+def test_no_global_edit_epoch_remains():
+    """The refactor's contract: no process-global mutation epoch anywhere in
+    the IR layer (per-procedure epochs only)."""
+    import repro.ir.nodes as nodes
+
+    assert not hasattr(nodes, "mutation_epoch")
+    assert not hasattr(nodes, "bump_mutation_epoch")
+    assert not hasattr(nodes, "_mutation_epoch")
+    assert hasattr(nodes, "edit_epoch") and hasattr(nodes, "set_edit_epoch")

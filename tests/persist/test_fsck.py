@@ -110,3 +110,62 @@ def test_missing_path_is_informational(tmp_path):
 def test_single_file_target(damaged):
     findings = fsck.scan([str(damaged / "bad.json")])
     assert _kinds(findings) == ["corrupt-record"]
+
+
+# -- service state (sockets and request journals) ----------------------------
+
+
+def _bind_socket(path):
+    import socket
+
+    s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    s.bind(str(path))
+    return s
+
+
+def test_stale_socket_is_a_repairable_problem(tmp_path):
+    sock = tmp_path / "service.sock"
+    _bind_socket(sock).close()  # the file remains, nothing listens
+    findings = fsck.scan([str(tmp_path)])
+    assert _kinds(findings) == ["stale-socket"]
+    assert findings[0].is_problem
+    fsck.scan([str(tmp_path)], repair=True)
+    assert not sock.exists()
+
+
+def test_live_socket_is_informational_and_never_touched(tmp_path):
+    sock = tmp_path / "service.sock"
+    srv = _bind_socket(sock)
+    srv.listen(1)
+    try:
+        findings = fsck.scan([str(tmp_path)], repair=True, purge=True)
+        assert _kinds(findings) == ["socket-live"]
+        assert not findings[0].is_problem
+        assert sock.exists()
+    finally:
+        srv.close()
+
+
+def test_orphaned_request_journal_is_informational_purged_only(tmp_path):
+    j = Journal(str(tmp_path / "requests.jsonl"))
+    j.append({"id": "r1", "request": "ping", "outcome": "ok"})
+    findings = fsck.scan([str(tmp_path)])
+    assert _kinds(findings) == ["orphan-request-journal"]
+    assert not findings[0].is_problem
+    # --repair keeps it (observability data); --purge sweeps it
+    fsck.scan([str(tmp_path)], repair=True)
+    assert (tmp_path / "requests.jsonl").exists()
+    fsck.scan([str(tmp_path)], purge=True)
+    assert not (tmp_path / "requests.jsonl").exists()
+
+
+def test_request_journal_with_socket_sibling_is_not_an_orphan(tmp_path):
+    j = Journal(str(tmp_path / "requests.jsonl"))
+    j.append({"id": "r1", "request": "ping", "outcome": "ok"})
+    srv = _bind_socket(tmp_path / "service.sock")
+    srv.listen(1)
+    try:
+        kinds = _kinds(fsck.scan([str(tmp_path)]))
+        assert "orphan-request-journal" not in kinds
+    finally:
+        srv.close()

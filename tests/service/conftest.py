@@ -1,0 +1,75 @@
+"""Service test fixtures: one in-process server per test, on a Unix socket
+in a temp state directory, driven by blocking clients from the test thread."""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+
+import pytest
+
+from repro.service import ScheduleService, ServiceClient
+
+
+class ServerHarness:
+    """Runs a :class:`ScheduleService` on a dedicated event-loop thread."""
+
+    def __init__(self, state_dir: str, **kw):
+        self.service = ScheduleService(state_dir=state_dir, **kw)
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+        deadline = time.monotonic() + 10
+        while self.service._server is None:
+            if time.monotonic() > deadline:
+                raise RuntimeError("service did not start")
+            time.sleep(0.01)
+
+    def _run(self):
+        asyncio.set_event_loop(self._loop)
+        self._loop.run_until_complete(self.service.start())
+        self._loop.run_until_complete(self.service.serve_forever())
+        # let pending transport-close callbacks run before the loop dies
+        self._loop.run_until_complete(asyncio.sleep(0.05))
+        self._loop.close()
+
+    @property
+    def address(self) -> str:
+        return self.service.address()
+
+    def client(self, **kw) -> ServiceClient:
+        return ServiceClient(self.address, **kw)
+
+    def stop(self):
+        if self._thread.is_alive():
+            try:
+                with self.client(timeout_s=5) as c:
+                    c.shutdown()
+            except OSError:
+                pass
+            self._thread.join(timeout=10)
+
+
+@pytest.fixture
+def server(tmp_path):
+    h = ServerHarness(str(tmp_path / "state"), scheduling_workers=4, timing_workers=2)
+    try:
+        yield h
+    finally:
+        h.stop()
+
+
+@pytest.fixture
+def make_server(tmp_path):
+    """Factory for tests that manage server lifetime themselves."""
+    made = []
+
+    def factory(name="state", **kw):
+        h = ServerHarness(str(tmp_path / name), **kw)
+        made.append(h)
+        return h
+
+    yield factory
+    for h in made:
+        h.stop()

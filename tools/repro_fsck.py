@@ -21,6 +21,14 @@ replay-cache shards, and tune checkpoint journals for the damage a crash,
   *idle* is the normal state between saves (informational).  ``--purge``
   deletes idle lock files and quarantine evidence — only safe when no
   tuner/worker is running.
+* **stale service sockets** — ``.sock`` files are probed with a connect: a
+  listener answering means a live schedule service owns the state directory
+  (reported, never touched); no listener means the server died without
+  cleanup and a restart would have to unlink it; ``--repair`` deletes it
+* **orphaned request journals** — a service ``requests.jsonl`` with no
+  (live or stale) socket beside it belongs to a server whose state
+  directory was torn apart; reported informationally, deleted by
+  ``--purge`` like other evidence (it is observability data, not state)
 
 Exit status: 0 when the stores are clean (informational findings do not
 count), 1 when any corruption or orphan was found — scriptable as a health
@@ -56,8 +64,11 @@ except ImportError:  # pragma: no cover - non-POSIX
 
 #: finding kinds that make the store unhealthy (exit 1, repairable)
 PROBLEM_KINDS = frozenset(
-    {"corrupt-record", "torn-journal", "orphan-tmp", "orphan-sidecar"}
+    {"corrupt-record", "torn-journal", "orphan-tmp", "orphan-sidecar", "stale-socket"}
 )
+
+#: file names the schedule service keeps in its state directory
+SERVICE_JOURNAL = "requests.jsonl"
 
 
 @dataclass
@@ -100,6 +111,24 @@ def _lock_state(path: str) -> str:
         os.close(fd)
 
 
+def _socket_live(path: str) -> bool:
+    """True when a listener answers on the Unix socket at ``path``."""
+    import socket as _socket
+
+    try:
+        s = _socket.socket(_socket.AF_UNIX, _socket.SOCK_STREAM)
+    except (AttributeError, OSError):  # pragma: no cover - non-POSIX
+        return False
+    try:
+        s.settimeout(0.5)
+        s.connect(path)
+        return True
+    except OSError:
+        return False
+    finally:
+        s.close()
+
+
 def _check_file(path: str, *, tmp_age_s: float, repair: bool, purge: bool) -> List[Finding]:
     name = os.path.basename(path)
     out: List[Finding] = []
@@ -117,6 +146,15 @@ def _check_file(path: str, *, tmp_age_s: float, repair: bool, purge: bool) -> Li
             return out
         if age >= tmp_age_s:
             f = Finding("orphan-tmp", path, f"staging file abandoned {age:.0f}s ago")
+            if repair:
+                os.unlink(path)
+                f.repaired = "deleted"
+            out.append(f)
+    elif name.endswith(".sock"):
+        if _socket_live(path):
+            out.append(Finding("socket-live", path, "a schedule service is listening here"))
+        else:
+            f = Finding("stale-socket", path, "no listener behind this socket (server died without cleanup)")
             if repair:
                 os.unlink(path)
                 f.repaired = "deleted"
@@ -141,6 +179,23 @@ def _check_file(path: str, *, tmp_age_s: float, repair: bool, purge: bool) -> Li
     elif name.endswith(".json"):
         out.extend(_check_record(path, repair=repair))
     elif name.endswith(".jsonl"):
+        if name == SERVICE_JOURNAL:
+            sibling = any(
+                entry.endswith(".sock")
+                for entry in os.listdir(os.path.dirname(path) or ".")
+            )
+            if not sibling:
+                f = Finding(
+                    "orphan-request-journal",
+                    path,
+                    "service request journal with no socket beside it",
+                )
+                if purge:
+                    os.unlink(path)
+                    f.repaired = "deleted"
+                    out.append(f)
+                    return out
+                out.append(f)
         j = Journal(path)
         intact = j.entries()
         if j.torn:
