@@ -252,14 +252,11 @@ def loop_iterations_commute(loop: N.For, env: Optional[FactEnv] = None) -> bool:
         writes = [a for a in lst if a.is_write()]
         if not writes:
             continue
-        if all(a.kind == "reduce" for a in lst if a.is_write()) and all(
-            a.kind in ("reduce",) for a in lst if a.kind != "read" or True
-        ):
-            # all writes are reductions; reads of the same buffer still break
-            # commutativity unless they are disjoint from the reduced cells
-            reads = [a for a in lst if a.kind == "read"]
-            if not reads:
-                continue
+        if all(a.kind == "reduce" for a in lst):
+            # every access is a `+=` reduction: additions commute, so the
+            # iteration order is unobservable.  A read of the same buffer
+            # falls through to the disjointness analysis below instead.
+            continue
         # look for a common distinguishing dimension
         if any(a.idx is None for a in lst):
             return False

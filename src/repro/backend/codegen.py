@@ -61,7 +61,7 @@ __all__ = [
 # Bumping this invalidates every entry of the persistent compiled-artifact
 # cache (repro.backend.native) — do so whenever emitted C can change for an
 # unchanged procedure.
-CODEGEN_VERSION = 1
+CODEGEN_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -78,15 +78,23 @@ class CodegenOptions:
     # explicit intrinsic FMAs stay fused; *contraction* of scalar code is
     # disabled so the scalar fallback rounds exactly like the interpreter
     fp_contract: str = "off"
+    # emit `#pragma omp parallel for` on provably race-free `par` loops and
+    # build with -fopenmp (set by repro.backend.native when the toolchain
+    # supports it and the procedure contains a par loop)
+    openmp: bool = False
 
     def key(self) -> str:
         return (
             f"intrinsics={int(self.intrinsics)};opt={self.opt_level};"
-            f"march={self.march};fp-contract={self.fp_contract}"
+            f"march={self.march};fp-contract={self.fp_contract};"
+            f"omp={int(self.openmp)}"
         )
 
     def cflags(self) -> List[str]:
-        return [self.opt_level, f"-march={self.march}", f"-ffp-contract={self.fp_contract}"]
+        flags = [self.opt_level, f"-march={self.march}", f"-ffp-contract={self.fp_contract}"]
+        if self.openmp:
+            flags.append("-fopenmp")
+        return flags
 
 
 @dataclass
@@ -188,6 +196,7 @@ class _CGen:
         self.globals: List[str] = []
         self.cur_stmt: Optional[N.Stmt] = None
         self.inline_depth = 0
+        self.par_depth = 0  # inside an OpenMP-parallel loop body
 
     # -- error reporting -----------------------------------------------------
 
@@ -367,11 +376,21 @@ class _CGen:
             it = self.names.of(s.iter)
             self.int_syms.add(s.iter)
             lo, hi = self.expr(s.lo), self.expr(s.hi)
-            if s.pragma == "par":
-                self.emit("#pragma omp parallel for")
+            clause = None
+            if s.pragma == "par" and self.options.openmp and self.par_depth == 0:
+                clause = self._omp_clause(s)
+                if clause is not None:
+                    self.emit(f"#pragma omp parallel for{clause}")
             self.emit(f"for (int64_t {it} = {lo}; {it} < {hi}; {it}++) {{")
             self.indent += 1
-            self.gen_block(s.body)
+            if clause is not None:
+                self.par_depth += 1
+                try:
+                    self.gen_block(s.body)
+                finally:
+                    self.par_depth -= 1
+            else:
+                self.gen_block(s.body)
             self.indent -= 1
             self.emit("}")
         elif isinstance(s, N.If):
@@ -398,6 +417,57 @@ class _CGen:
             )
         else:
             raise self.err(f"cannot lower statement of type {type(s).__name__}")
+
+    def _omp_clause(self, s: N.For) -> Optional[str]:
+        """The OpenMP clause suffix for a race-free ``parallel for`` emission
+        of ``s`` (``""`` or ``" reduction(...)..."``), or ``None`` when no
+        such emission exists and the loop must stay sequential.
+
+        ``parallelize_loop`` already proved the iterations commute; this
+        routes each written outer buffer to OpenMP's memory model: writes at
+        iterator-dependent indices touch disjoint elements (shared is safe),
+        pure accumulation targets get a ``reduction(+:...)`` clause (a scalar
+        or a one-element array section at a loop-invariant index), and
+        anything else declines the pragma."""
+        from ..analysis.effects import accesses_of
+        from ..ir.build import collect_allocs, used_syms_expr
+
+        local = {a.name for a in collect_allocs(s.body)}
+        by_buf: Dict[Sym, List] = {}
+        for a in accesses_of(s.body):
+            if a.buf in local or a.buf is s.iter:
+                continue
+            by_buf.setdefault(a.buf, []).append(a)
+        parts: List[str] = []
+        for sym, lst in sorted(by_buf.items(), key=lambda kv: self.names.of(kv[0])):
+            writes = [a for a in lst if a.is_write()]
+            if not writes:
+                continue
+            buf = self.bufs.get(sym)
+            allreduce = all(a.kind == "reduce" for a in lst)
+            if buf is not None and buf.kind == "tensor":
+                disjoint = all(
+                    a.idx is not None and any(s.iter in used_syms_expr(ix) for ix in a.idx)
+                    for a in writes
+                ) and all(a.idx is not None for a in lst)
+                if disjoint:
+                    continue
+                invariant = allreduce and all(
+                    a.idx is not None
+                    and not any(s.iter in used_syms_expr(ix) for ix in a.idx)
+                    for a in writes
+                )
+                if invariant:
+                    idxs = {self.flat(sym, list(a.idx)) for a in writes}
+                    if len(idxs) == 1:
+                        parts.append(f"reduction(+:{self.names.of(sym)}[{idxs.pop()}:1])")
+                        continue
+                return None
+            if buf is not None and buf.kind == "scalar" and allreduce:
+                parts.append(f"reduction(+:{self.names.of(sym)})")
+                continue
+            return None
+        return "".join(f" {p}" for p in parts)
 
     def gen_assign(self, s) -> None:
         op = "=" if isinstance(s, N.Assign) else "+="

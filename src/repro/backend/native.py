@@ -42,7 +42,17 @@ Transient failures — the ``cc`` process failing to spawn, the atomic
 artifact publish losing a filesystem race — are retried with bounded
 exponential backoff (:func:`repro.guard.retry.with_retry`).  All of these
 paths honour the named faults of :mod:`repro.guard.faults` (``cc-missing``,
-``cc-transient``, ``artifact-corrupt``, ``publish-race``).
+``cc-transient``, ``artifact-corrupt``, ``publish-race``, ``omp-missing``).
+
+OpenMP
+------
+Procedures containing a ``par`` loop automatically compile with ``-fopenmp``
+when the toolchain supports it (:func:`openmp_supported`, probed once per
+compiler and folded into the artifact key via ``CodegenOptions.openmp`` —
+a parallel kernel and its sequential twin never share an artifact).  When
+the probe fails, the kernel compiles sequentially and an ``omp-missing``
+fallback event is recorded.  The worker count is set per call through the
+shared object's own ``omp_set_num_threads`` (``call_guarded(threads=...)``).
 """
 
 from __future__ import annotations
@@ -55,7 +65,7 @@ import shutil
 import subprocess
 import threading
 import tempfile
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -84,6 +94,7 @@ __all__ = [
     "cache_stats",
     "compile_native",
     "find_cc",
+    "openmp_supported",
     "reset_cache_stats",
     "clear_memo",
     "MAX_CACHE_ENTRIES",
@@ -181,6 +192,80 @@ def find_cc() -> Optional[str]:
     return shutil.which(os.environ.get("CC") or "cc")
 
 
+_omp_memo: Dict[str, bool] = {}
+
+
+def openmp_supported(cc: str) -> bool:
+    """Whether ``cc`` can build with ``-fopenmp`` (probed once per compiler
+    by compiling a one-line program, then memoized).
+
+    Fault site: ``omp-missing`` forces False without touching the memo, so
+    ``par`` kernels exercise their sequential-compile degradation and the
+    probe result recovers as soon as the fault disarms."""
+    if faults.should_fire("omp-missing"):
+        return False
+    with _lock:
+        got = _omp_memo.get(cc)
+    if got is not None:
+        return got
+    tmpdir = tempfile.mkdtemp(prefix="repro-omp-probe-")
+    try:
+        c_path = os.path.join(tmpdir, "probe.c")
+        with open(c_path, "w") as f:
+            f.write(
+                "#include <omp.h>\n"
+                "int main(void) { return omp_get_max_threads() > 0 ? 0 : 1; }\n"
+            )
+        try:
+            proc = subprocess.run(
+                [cc, "-fopenmp", c_path, "-o", os.path.join(tmpdir, "probe.out")],
+                capture_output=True,
+                text=True,
+                timeout=60,
+            )
+            got = proc.returncode == 0
+        except (OSError, subprocess.SubprocessError):
+            got = False
+    finally:
+        shutil.rmtree(tmpdir, ignore_errors=True)
+    with _lock:
+        _omp_memo[cc] = got
+    return got
+
+
+def _has_par(root) -> bool:
+    from ..ir import nodes as N
+    from ..ir.build import walk
+
+    return any(
+        isinstance(n, N.For) and n.pragma == "par" for n, _ in walk(root)
+    )
+
+
+def _resolve_openmp(
+    root, options: CodegenOptions, cc: Optional[str], *, record: bool
+) -> CodegenOptions:
+    """The effective codegen options for ``root``: ``openmp=True`` when the
+    procedure contains a ``par`` loop and the toolchain can honour it.  With
+    ``record``, an unsupported toolchain logs an ``omp-missing`` fallback
+    event (stage ``c-par->c-seq``) — the kernel still compiles, sequentially.
+    """
+    if options.openmp or not _has_par(root):
+        return options
+    if cc is not None and openmp_supported(cc):
+        return replace(options, openmp=True)
+    if record:
+        from ..guard import record_fallback
+
+        record_fallback(
+            root.name,
+            "c-par->c-seq",
+            "omp-missing",
+            detail="toolchain cannot build with -fopenmp; par loops compiled sequentially",
+        )
+    return options
+
+
 def cc_version(cc: str) -> str:
     got = _cc_version_memo.get(cc)
     if got is None:
@@ -216,8 +301,11 @@ def artifact_key(procedure, options: Optional[CodegenOptions] = None, cc: Option
     """
     root = procedure._root if hasattr(procedure, "_root") else procedure
     options = options or CodegenOptions()
-    unit = emit_unit(root, options)
     cc = cc or find_cc() or "cc"
+    options = _resolve_openmp(
+        root, options, cc if os.path.exists(cc) else None, record=False
+    )
+    unit = emit_unit(root, options)
     parts = "|".join(
         [
             f"codegen={CODEGEN_VERSION}",
@@ -349,9 +437,15 @@ class NativeProc:
     so_path: str
     key: str = ""
     _fn: object = None
+    # the shared object's own omp_set_num_threads, when it was linked
+    # against the OpenMP runtime (par kernels built with -fopenmp)
+    _omp_set: object = None
 
-    def __call__(self, values: Dict[str, object]) -> None:
-        """Run the kernel on a ``{arg name: value}`` dict (tensors in place)."""
+    def __call__(self, values: Dict[str, object], threads: Optional[int] = None) -> None:
+        """Run the kernel on a ``{arg name: value}`` dict (tensors in place).
+
+        ``threads`` bounds the OpenMP worker count of ``par`` loops; it is a
+        no-op for artifacts built without OpenMP."""
         args: List[object] = []
         for spec in self.argspec:
             if spec[0] == "tensor":
@@ -384,6 +478,8 @@ class NativeProc:
                     args.append(ctypes.c_bool(bool(v)))
                 else:
                     args.append(_SCALAR_CTYPES[tag](int(v)))
+        if threads is not None and self._omp_set is not None:
+            self._omp_set(ctypes.c_int(int(threads)))
         self._fn(*args)
 
 
@@ -396,7 +492,11 @@ def _load(unit: NativeUnit, so_path: str, key: str = "") -> NativeProc:
     lib = ctypes.CDLL(so_path)
     fn = getattr(lib, unit.name)
     fn.restype = None
-    return NativeProc(unit.name, unit.source, unit.argspec, so_path, key, fn)
+    try:
+        omp_set = lib.omp_set_num_threads
+    except AttributeError:
+        omp_set = None  # built without -fopenmp
+    return NativeProc(unit.name, unit.source, unit.argspec, so_path, key, fn, omp_set)
 
 
 def _build(cc: str, options: CodegenOptions, c_path: str, so_path: str) -> None:
@@ -478,6 +578,7 @@ def compile_native(
         err.reason = "cc-missing"
         raise err
 
+    options = _resolve_openmp(root, options, cc, record=True)
     unit = emit_unit(root, options)  # may raise CodegenError
     key = artifact_key(root, options, cc)
     with _lock:
@@ -547,6 +648,7 @@ def call_guarded(
     values: Dict[str, object],
     timeout_s: Optional[float] = None,
     directory: Optional[str] = None,
+    threads: Optional[int] = None,
 ) -> None:
     """Execute ``kernel`` with first-run quarantine.
 
@@ -564,6 +666,8 @@ def call_guarded(
     ``timeout_s`` overrides the ``REPRO_GUARD_TIMEOUT`` watchdog; setting
     ``REPRO_GUARD=off`` skips the quarantine entirely (no validation stamp
     is written — the next guarded-mode call will quarantine as usual).
+    ``threads`` bounds the OpenMP worker count of ``par`` loops (no-op for
+    artifacts built without OpenMP).
     """
     meta = artifact_meta(kernel.key, directory)
     if meta["status"] == STATUS_POISONED:
@@ -574,7 +678,15 @@ def call_guarded(
             artifact_key=kernel.key,
         )
     if meta["status"] != STATUS_VALIDATED and quarantine.guard_enabled():
-        report = quarantine.run_guarded(lambda: kernel(values), timeout_s=timeout_s)
+        # the guard forks, and libgomp is not fork-safe once the parent has
+        # ever run a parallel region (the child inherits a thread pool whose
+        # threads do not exist) — so the quarantined validation run of an
+        # OpenMP artifact is forced serial; a 1-thread team runs inline on
+        # the calling thread and never touches the pool
+        guard_threads = 1 if kernel._omp_set is not None else threads
+        report = quarantine.run_guarded(
+            lambda: kernel(values, threads=guard_threads), timeout_s=timeout_s
+        )
         if report.status == "ok":
             mark_validated(kernel.key, directory)
         elif report.status == "error":
@@ -590,4 +702,4 @@ def call_guarded(
                 reason=reason,
                 artifact_key=kernel.key,
             )
-    kernel(values)
+    kernel(values, threads=threads)

@@ -62,28 +62,39 @@ def skinny_schedule(out_loop: str, vw: int, precision: str = "f32", machine=None
     return skinny(out_loop, vw, machine.mem_type, precision, machine, knob("interleave", 2))
 
 
-def level1_space():
+def level1_space(*, threads: bool = False):
     """The tunable domain of :func:`level1_schedule` for the autotuner:
-    ILP interleave factors worth trying on any of the modelled machines."""
-    from ..tune import Param, Space
+    ILP interleave factors worth trying on any of the modelled machines.
+    ``threads=True`` adds the reserved ``num_threads`` execution knob (for
+    schedules that also apply ``parallelize_loop``)."""
+    from ..tune import Param, Space, threads_param
 
-    return Space(Param.pow2("interleave", 1, 8))
+    params = [Param.pow2("interleave", 1, 8)]
+    if threads:
+        params.append(threads_param())
+    return Space(*params)
 
 
-def level2_space():
+def level2_space(*, threads: bool = False):
     """The tunable domain of :func:`level2_schedule`: unroll-and-jam rows ×
-    inner interleave columns."""
-    from ..tune import Param, Space
+    inner interleave columns (``threads=True``: plus ``num_threads``)."""
+    from ..tune import Param, Space, threads_param
 
-    return Space(Param.pow2("rows", 1, 4), Param.pow2("cols", 1, 4))
+    params = [Param.pow2("rows", 1, 4), Param.pow2("cols", 1, 4)]
+    if threads:
+        params.append(threads_param())
+    return Space(*params)
 
 
-def skinny_space():
+def skinny_space(*, threads: bool = False):
     """The tunable domain of :func:`skinny_schedule` (same ILP axis as
-    level 1)."""
-    from ..tune import Param, Space
+    level 1; ``threads=True``: plus ``num_threads``)."""
+    from ..tune import Param, Space, threads_param
 
-    return Space(Param.pow2("interleave", 1, 4))
+    params = [Param.pow2("interleave", 1, 4)]
+    if threads:
+        params.append(threads_param())
+    return Space(*params)
 
 
 def _default_machine():

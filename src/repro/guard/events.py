@@ -20,6 +20,13 @@ Reason strings are stable identifiers, not prose — the interesting ones:
 * ``native-run-error`` — the compiled kernel rejected its arguments
 * ``compile-error`` — the NumPy engine could not compile; the tree
   interpreter took over
+* ``par-unlowerable`` — a ``par`` loop could not be proven race-free by the
+  compiled engine's privatization analysis; it lowered sequentially
+  (stage ``par->seq``)
+* ``omp-missing`` — the toolchain cannot build with ``-fopenmp``; a ``par``
+  kernel was compiled without OpenMP (stage ``c-par->c-seq``)
+* ``thread-pool-exhausted`` — no worker threads were available; a parallel
+  dispatch ran its chunks serially (stage ``par->serial``)
 """
 
 from __future__ import annotations

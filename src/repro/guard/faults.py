@@ -47,6 +47,14 @@ The fault names and the sites that honour them:
                     **Kills the process that hits the site** — arm it only
                     around forked victims (the ``tests/persist`` kill
                     harness) or in a chaos run whose tests fork their writers
+``omp-missing``     :func:`repro.backend.native.openmp_supported` reports the
+                    toolchain cannot build with ``-fopenmp`` — ``par`` kernels
+                    compile sequentially and record an ``omp-missing``
+                    fallback event
+``thread-pool-exhausted`` :func:`repro.interp.parallel.par_for` finds no
+                    worker threads available — the dispatch degrades to
+                    running its chunks serially on the calling thread (same
+                    partition, same results)
 =================== =========================================================
 """
 
@@ -82,6 +90,8 @@ VALID_FAULTS = frozenset(
         "partial-write",
         "lock-timeout",
         "kill-mid-publish",
+        "omp-missing",
+        "thread-pool-exhausted",
     }
 )
 

@@ -79,25 +79,29 @@ def unsharp_schedule(machine=None, *, fuse_stages: bool = False) -> Schedule:
     return Seq.of(*steps)
 
 
-def blur_space(*, tiles: bool = True):
+def blur_space(*, tiles: bool = True, threads: bool = False):
     """The tunable domain of :func:`blur_schedule` for the autotuner.
 
     ``tiles=False`` restricts the sweep to the vector width, leaving the tile
     knobs at their defaults — with the tiling steps then knob-invariant, the
     tuner's shared-prefix split applies them once and every other candidate
-    hits the replay cache for that prefix.
+    hits the replay cache for that prefix.  ``threads=True`` adds the
+    reserved ``num_threads`` execution knob (the schedule's ``parallel("y")``
+    step makes the row loop a real multicore ``par`` loop).
     """
-    from ..tune import Param, Space
+    from ..tune import Param, Space, threads_param
 
     params = [Param("vec", (4, 8, 16))]
     if tiles:
         params = [Param("tile_y", (16, 32, 64)), Param("tile_x", (128, 256, 512))] + params
+    if threads:
+        params.append(threads_param())
     return Space(*params)
 
 
-def unsharp_space(*, tiles: bool = True):
+def unsharp_space(*, tiles: bool = True, threads: bool = False):
     """The tunable domain of :func:`unsharp_schedule` (same axes as blur)."""
-    return blur_space(tiles=tiles)
+    return blur_space(tiles=tiles, threads=threads)
 
 
 def schedule_blur(machine=None, tile_y: int = 32, tile_x: int = 256, vec: int = 16, fuse_stages: bool = False):

@@ -9,9 +9,22 @@ execution (first runs quarantined by :mod:`repro.guard`), or
 ``backend="differential"`` to cross-check.  Degradations down the
 ``c → compiled → interp`` ladder are recorded as structured fallback events
 queryable via :func:`exec_stats`.
+
+Loops annotated ``par`` by :func:`~repro.primitives.parallelize_loop`
+execute on multiple cores: ``run_proc(threads=...)`` / ``REPRO_NUM_THREADS``
+set the worker count (see :mod:`repro.interp.parallel`), and
+``exec_stats()["parallel"]`` reports how many loops actually dispatched.
 """
 
 from .compile import CompileError, CompiledProc, clear_compile_cache, compile_proc, compiled_source
+from .parallel import (
+    MAX_THREADS,
+    PAR_CHUNKS,
+    ThreadCountError,
+    par_stats,
+    reset_par_stats,
+    resolve_num_threads,
+)
 from .interpreter import (
     VALID_BACKENDS,
     DifferentialError,
@@ -43,4 +56,10 @@ __all__ = [
     "clear_exec_stats",
     "VALID_BACKENDS",
     "resolve_backend",
+    "MAX_THREADS",
+    "PAR_CHUNKS",
+    "ThreadCountError",
+    "par_stats",
+    "reset_par_stats",
+    "resolve_num_threads",
 ]

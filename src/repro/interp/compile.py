@@ -68,7 +68,9 @@ Compiled callables are cached keyed by the PR-1 structural hash
 order of first occurrence of each distinct symbol, since ``struct_hash``
 compares symbols by name only) plus an argument-type token (``struct_hash``
 ignores ``FnArg`` types, but guard elision depends on them) plus the resolved
-inlining knob (the two settings generate different code).  The cache is
+inlining knob (the two settings generate different code) plus the resolved
+``par``-loop thread count (the dispatch call sites embed it; see
+:mod:`repro.interp.parallel`).  The cache is
 flushed lazily whenever the edit engine has bumped the global mutation epoch
 since the last compile, so no entry can outlive an in-place tree mutation;
 within an epoch, structurally identical procedures (e.g. one ``@instr``
@@ -91,10 +93,12 @@ from ..backend.lowering import (
     provably_nonneg,
     substitute_call_body,
 )
+from ..analysis.effects import accesses_of
 from ..errors import ExoError
 from ..ir import nodes as N
 from ..ir.build import (
     alpha_rename_stmts,
+    collect_allocs,
     collect_syms_written,
     struct_hash,
     structurally_equal,
@@ -107,6 +111,7 @@ from ..ir.externs import extern_by_name
 from ..ir.syms import Sym
 from ..ir.types import ScalarType, TensorType
 from .interpreter import InterpError, _Interp
+from .parallel import par_for, resolve_num_threads
 
 __all__ = [
     "CompileError",
@@ -202,12 +207,21 @@ class CompiledProc:
     ``source`` is the generated Python text (useful for debugging and tested
     directly), ``fallback_stmts`` counts statements that run through the tree
     interpreter, ``vector_loops`` counts loops lowered to whole-array NumPy
-    statements (innermost or chunked outer loops), and ``inlined_calls``
-    counts call sites substituted by the cross-procedure inliner before
-    lowering.
+    statements (innermost or chunked outer loops), ``inlined_calls`` counts
+    call sites substituted by the cross-procedure inliner before lowering,
+    and ``par_loops`` counts ``pragma == "par"`` loops lowered to multicore
+    chunk dispatch (:func:`repro.interp.parallel.par_for`).
     """
 
-    __slots__ = ("name", "source", "fn", "fallback_stmts", "vector_loops", "inlined_calls")
+    __slots__ = (
+        "name",
+        "source",
+        "fn",
+        "fallback_stmts",
+        "vector_loops",
+        "inlined_calls",
+        "par_loops",
+    )
 
     def __init__(
         self,
@@ -217,6 +231,7 @@ class CompiledProc:
         fallback_stmts: int,
         vector_loops: int,
         inlined_calls: int = 0,
+        par_loops: int = 0,
     ):
         self.name = name
         self.source = source
@@ -224,6 +239,7 @@ class CompiledProc:
         self.fallback_stmts = fallback_stmts
         self.vector_loops = vector_loops
         self.inlined_calls = inlined_calls
+        self.par_loops = par_loops
 
     def stats(self) -> Dict[str, int]:
         """The compile statistics as a plain dict (benchmark plumbing)."""
@@ -231,6 +247,7 @@ class CompiledProc:
             "vector_loops": self.vector_loops,
             "fallback_stmts": self.fallback_stmts,
             "inlined_calls": self.inlined_calls,
+            "par_loops": self.par_loops,
         }
 
     def run(self, ctx: _RunContext, argvals: Sequence[object]) -> None:
@@ -252,7 +269,7 @@ class CompiledProc:
 # procedures in parallel; compilation happens *outside* the lock, so two
 # threads may race to compile the same key and one result wins — wasted work,
 # never a wrong answer.
-_CACHE: Dict[Tuple[int, int, int, bool], CompiledProc] = {}
+_CACHE: Dict[Tuple[int, int, int, bool, int], CompiledProc] = {}
 _CACHE_LOCK = threading.Lock()
 _CACHE_LIMIT = 512
 # recursion detection is per call stack, hence per thread
@@ -325,16 +342,23 @@ def _inline_enabled(flag: Optional[bool]) -> bool:
     return os.environ.get("REPRO_EXEC_INLINE", "1") != "0"
 
 
-def compile_proc(procedure, *, inline: Optional[bool] = None) -> CompiledProc:
+def compile_proc(
+    procedure, *, inline: Optional[bool] = None, threads: Optional[int] = None
+) -> CompiledProc:
     """Compile a :class:`Procedure` (or raw ``ProcDef``) to NumPy, memoised.
 
     ``inline`` controls the cross-procedure inliner (see
     :func:`_inline_procedure`); ``None`` defers to ``REPRO_EXEC_INLINE``.
-    Raises :class:`CompileError` when the procedure cannot be lowered at all.
+    ``threads`` is the worker count ``par`` loops dispatch over (``None``
+    defers to ``REPRO_NUM_THREADS`` / the CPU count); the resolved count is
+    embedded in the generated dispatch calls and is therefore part of the
+    cache key.  Raises :class:`CompileError` when the procedure cannot be
+    lowered at all.
     """
     root = getattr(procedure, "_root", procedure)
     inl = _inline_enabled(inline)
-    key = (struct_hash(root), _alias_sig(root), _arg_type_token(root), inl)
+    nthreads = resolve_num_threads(threads)
+    key = (struct_hash(root), _alias_sig(root), _arg_type_token(root), inl, nthreads)
     with _CACHE_LOCK:
         hit = _CACHE.get(key)
     if hit is not None:
@@ -345,7 +369,7 @@ def compile_proc(procedure, *, inline: Optional[bool] = None) -> CompiledProc:
     in_progress.add(id(root))
     try:
         work, n_inlined = (_inline_procedure(root) if inl else (root, 0))
-        engine = _Lowerer(work, inline=inl).compile()
+        engine = _Lowerer(work, inline=inl, threads=nthreads).compile()
         engine.inlined_calls = n_inlined
     except CompileError:
         raise
@@ -360,9 +384,11 @@ def compile_proc(procedure, *, inline: Optional[bool] = None) -> CompiledProc:
     return engine
 
 
-def compiled_source(procedure, *, inline: Optional[bool] = None) -> str:
+def compiled_source(
+    procedure, *, inline: Optional[bool] = None, threads: Optional[int] = None
+) -> str:
     """The generated Python source for a procedure (compiles if needed)."""
-    return compile_proc(procedure, inline=inline).source
+    return compile_proc(procedure, inline=inline, threads=threads).source
 
 
 def clear_compile_cache() -> None:
@@ -704,9 +730,11 @@ class _Vec:
 
 
 class _Lowerer:
-    def __init__(self, root: N.ProcDef, inline: bool = True):
+    def __init__(self, root: N.ProcDef, inline: bool = True, threads: int = 1):
         self.root = root
         self.inline = inline  # propagate the knob to recursively compiled callees
+        self.threads = threads  # par-loop dispatch width (also in the cache key)
+        self.in_par = False  # inside a par chunk body: nested pars stay serial
         self.lines: List[str] = []
         self.indent = 1
         self.consts: List[object] = []
@@ -719,6 +747,7 @@ class _Lowerer:
         self.ntemp = 0
         self.n_fallback = 0
         self.n_vec = 0
+        self.n_par = 0
 
     # -- small utilities ---------------------------------------------------------
 
@@ -774,10 +803,13 @@ class _Lowerer:
             "_stride": _rt_stride,
             "_astensor": _rt_astensor,
             "_strided2": _rt_strided2,
+            "_par_for": par_for,
         }
         code = compile(source, f"<repro.compiled:{root.name}>", "exec")
         exec(code, ns)
-        return CompiledProc(root.name, source, ns["__kernel"], self.n_fallback, self.n_vec)
+        return CompiledProc(
+            root.name, source, ns["__kernel"], self.n_fallback, self.n_vec, par_loops=self.n_par
+        )
 
     @staticmethod
     def _find_cell_syms(root: N.ProcDef) -> Set[Sym]:
@@ -906,6 +938,9 @@ class _Lowerer:
         lo_t, hi_t = self.temp(), self.temp()
         self.emit(f"{lo_t} = int({self.int_expr(s.lo)})")
         self.emit(f"{hi_t} = int({self.int_expr(s.hi)})")
+        if s.pragma == "par" and not self.in_par and self._try_parallel(s, lo_t, hi_t):
+            self.n_par += 1
+            return
         if self._try_vectorize(s, lo_t, hi_t):
             self.n_vec += 1
             return
@@ -946,7 +981,7 @@ class _Lowerer:
     def stmt_call(self, s: N.Call) -> None:
         cdef = getattr(s.proc, "_root", s.proc)
         try:
-            callee = compile_proc(cdef, inline=self.inline)
+            callee = compile_proc(cdef, inline=self.inline, threads=self.threads)
         except CompileError as exc:
             raise _CannotLower(str(exc)) from None
         args_src = ["__ctx"]
@@ -1099,6 +1134,128 @@ class _Lowerer:
             self.emit(f"if {cond}:")
             self.emit(f"    _oob({w.name.name!r})")
         return f"{name}[{', '.join(parts)}]"
+
+    # -- parallel dispatch --------------------------------------------------------
+
+    def _try_parallel(self, s: N.For, lo_t: str, hi_t: str) -> bool:
+        """Lower a ``pragma == "par"`` loop to chunked multicore dispatch.
+
+        Returns False (and records a ``par->seq`` fallback event) when the
+        body cannot be dispatched safely, in which case the loop lowers
+        through the ordinary sequential path."""
+        mark = len(self.lines)
+        try:
+            self._par_lower(s, lo_t, hi_t)
+            return True
+        except (_NoVec, _CannotLower) as exc:
+            del self.lines[mark:]
+            from ..guard import record_fallback
+
+            record_fallback(
+                self.root.name,
+                "par->seq",
+                "par-unlowerable",
+                detail=str(exc) or type(exc).__name__,
+            )
+            return False
+
+    def _par_lower(self, s: N.For, lo_t: str, hi_t: str) -> None:
+        """Emit ``def <chunk>(lo, hi, *privs): <sequential loop>`` plus a
+        ``_par_for`` dispatch call.
+
+        The chunk body is the *ordinary sequential lowering* of the same loop
+        over a parametric sub-range — including its vectorisation — so each
+        chunk runs the exact whole-array code the sequential build runs,
+        just on a slice of the iteration space.  Buffers whose body accesses
+        are all reductions at iteration-invariant cells are privatized (each
+        chunk accumulates into a zeroed copy; :func:`par_for` combines the
+        partials in chunk order); buffers whose writes are indexed by the
+        iterator stay shared (iterations touch disjoint cells — the
+        ``parallelize_loop`` safety check proved it).  Anything else declines.
+        """
+        it = s.iter
+        body = list(s.body)
+        body_written = collect_syms_written(body)
+        if it in body_written:
+            raise _NoVec("par loop writes its own iterator")
+        for st in body:
+            for n, _ in walk(st):
+                if isinstance(n, (N.WriteConfig, N.ReadConfig)):
+                    # the shared config-state dict is not synchronised
+                    raise _NoVec("par body touches configuration state")
+        local = {a.name for a in collect_allocs(body)}
+        by_buf: Dict[Sym, List] = {}
+        for a in accesses_of(body):
+            if a.buf in local or a.buf is it:
+                continue
+            by_buf.setdefault(a.buf, []).append(a)
+
+        priv_arrays: List[Sym] = []
+        priv_scalars: List[Sym] = []
+        outer_written = [sym for sym in body_written if sym in self.bound]
+        for sym in sorted(outer_written, key=lambda sm: self.bound[sm][0]):
+            kind = self.bound[sym][1]
+            lst = by_buf.get(sym, [])
+            allreduce = bool(lst) and all(a.kind == "reduce" for a in lst)
+            if kind in ("tensor", "cell"):
+                writes = [a for a in lst if a.is_write()]
+                reads = [a for a in lst if a.kind == "read"]
+                disjoint = bool(writes) and all(
+                    a.idx is not None and any(it in used_syms_expr(ix) for ix in a.idx)
+                    for a in writes
+                )
+                if disjoint and all(a.idx is not None for a in reads):
+                    continue  # shared: distinct iterations touch distinct cells
+                if allreduce:
+                    priv_arrays.append(sym)  # privatize + ordered combine
+                    continue
+                raise _NoVec(f"cannot prove writes to {sym.name} race-free")
+            if kind == "scalar" and allreduce:
+                priv_scalars.append(sym)
+                continue
+            raise _NoVec(f"scalar {sym.name} written non-reductively in par body")
+
+        lo_sym, hi_sym = Sym("__plo"), Sym("__phi")
+        priv_names = [self.bound[sym][0] for sym in priv_arrays]
+        params = [self.bind(lo_sym, "index"), self.bind(hi_sym, "index")] + priv_names
+        if provably_nonneg(s.lo, self.nonneg):
+            # chunk bounds lie inside [lo, hi), so both inherit lo's sign
+            self.nonneg.add(lo_sym)
+            self.nonneg.add(hi_sym)
+        fn_t = self.temp()
+        self.emit(f"def {fn_t}({', '.join(params)}):")
+        self.indent += 1
+        for sym in priv_scalars:
+            # each chunk accumulates its delta from zero; par_for's caller
+            # (below) folds the deltas back in chunk order
+            name = self.bound[sym][0]
+            cast = self.scalar_cast.get(sym)
+            zero = "0" if cast is not None and np.dtype(self.consts[cast]).kind != "f" else "0.0"
+            self.emit(f"{name} = {zero}")
+        inner = N.For(it, N.Read(lo_sym, []), N.Read(hi_sym, []), body, "seq")
+        prev_in_par, self.in_par = self.in_par, True
+        try:
+            self.stmt_for(inner)
+        finally:
+            self.in_par = prev_in_par
+        rets = "".join(f"{self.bound[sym][0]}, " for sym in priv_scalars)
+        self.emit(f"return ({rets})")
+        self.indent -= 1
+        res_t = self.temp()
+        arrs = "".join(f"{nm}, " for nm in priv_names)
+        self.emit(
+            f"{res_t} = _par_for({fn_t}, {lo_t}, {hi_t}, {self.threads}, "
+            f"({arrs}), {self.root.name!r}, {bool(priv_arrays or priv_scalars)})"
+        )
+        for j, sym in enumerate(priv_scalars):
+            name = self.bound[sym][0]
+            cast = self.scalar_cast.get(sym)
+            chunk_t = self.temp()
+            self.emit(f"for {chunk_t} in {res_t}:")
+            expr = f"{name} + {chunk_t}[{j}]"
+            if cast is not None:
+                expr = f"__K[{cast}]({expr})"
+            self.emit(f"    {name} = {expr}")
 
     # -- vectorisation ------------------------------------------------------------
 

@@ -312,26 +312,35 @@ class _Interp:
         self.exec_stmts(proc_def.body, env)
 
 
-def _run_compiled(root, env: Dict[Sym, object], config_state, inline: Optional[bool] = None) -> None:
+def _run_compiled(
+    root,
+    env: Dict[Sym, object],
+    config_state,
+    inline: Optional[bool] = None,
+    threads: Optional[int] = None,
+) -> None:
     """Execute through the compiled engine (raises CompileError if the whole
     procedure cannot be lowered)."""
     from .compile import _RunContext, compile_proc
 
-    engine = compile_proc(root, inline=inline)
+    engine = compile_proc(root, inline=inline, threads=threads)
     ctx = _RunContext(config_state)
     engine.run(ctx, [env[a.name] for a in root.args])
 
 
-def _run_native(root, values: Dict[str, object]) -> None:
+def _run_native(root, values: Dict[str, object], threads: Optional[int] = None) -> None:
     """Execute through the native C backend with first-run quarantine
     (compile-and-cache, guard the first run, then call in-process).
+
+    ``threads`` bounds the OpenMP worker count of ``par`` loops (forwarded to
+    ``omp_set_num_threads`` when the artifact was built with OpenMP).
 
     Raises CodegenError / NativeError (incl. ArtifactPoisonedError) when the
     procedure cannot be lowered, no toolchain is available, or the artifact
     failed its quarantine — callers decide how to degrade."""
     from ..backend.native import call_guarded, compile_native
 
-    call_guarded(compile_native(root), values)
+    call_guarded(compile_native(root), values, threads=threads)
 
 
 def _fallback_reason(exc) -> str:
@@ -361,22 +370,29 @@ def _record_native_fallback(root, exc, stage: str = "c->compiled") -> None:
 def exec_stats() -> Dict[str, object]:
     """Structured degradation telemetry of this process: per-reason fallback
     counts, the recent :class:`~repro.guard.events.FallbackEvent` records
-    (as dicts), and the quarantine-guard counters."""
+    (as dicts), the quarantine-guard counters, and the parallel-execution
+    counters (par loops dispatched, chunks executed, widest thread count
+    used, serial degrades)."""
     from ..guard import fallback_counts, fallback_events, guard_stats
+    from .parallel import par_stats
 
     return {
         "fallbacks": fallback_counts(),
         "events": [e.to_dict() for e in fallback_events()],
         "guard": guard_stats(),
+        "parallel": par_stats(),
     }
 
 
 def clear_exec_stats() -> None:
-    """Reset the fallback-event log and guard counters (tests, benchmarks)."""
+    """Reset the fallback-event log, guard counters, and parallel counters
+    (tests, benchmarks)."""
     from ..guard import clear_fallback_events, reset_guard_stats
+    from .parallel import reset_par_stats
 
     clear_fallback_events()
     reset_guard_stats()
+    reset_par_stats()
 
 
 def run_proc(
@@ -388,6 +404,7 @@ def run_proc(
     diff_rtol: float = 1e-4,
     diff_atol: float = 1e-5,
     inline: Optional[bool] = None,
+    threads: Optional[int] = None,
     **kw_args,
 ):
     """Execute a :class:`Procedure` on concrete arguments.
@@ -398,9 +415,15 @@ def run_proc(
     ``diff_rtol``/``diff_atol`` are the tolerances of the ``"differential"``
     backend's cross-check; ``inline`` forces the compiled engine's
     cross-procedure inliner on or off (``None`` defers to the
-    ``REPRO_EXEC_INLINE`` environment variable, default on).
+    ``REPRO_EXEC_INLINE`` environment variable, default on); ``threads``
+    sets the worker count ``par`` loops execute with (``None`` defers to
+    ``REPRO_NUM_THREADS``, then the CPU count — see
+    :mod:`repro.interp.parallel`).
     """
     backend = resolve_backend(backend)
+    from .parallel import resolve_num_threads
+
+    threads = resolve_num_threads(threads)
     root = procedure._root if hasattr(procedure, "_root") else procedure
     env: Dict[Sym, object] = {}
     names = [a.name.name for a in root.args]
@@ -433,7 +456,7 @@ def run_proc(
         from ..errors import CodegenError
 
         try:
-            _run_native(root, values)
+            _run_native(root, values, threads=threads)
             return {n: values[n] for n in names}
         except (CodegenError, NativeError) as exc:
             # graceful degrade down the ladder: nothing has executed in this
@@ -462,7 +485,7 @@ def run_proc(
     from .compile import CompileError
 
     try:
-        _run_compiled(root, env, config_state, inline=inline)
+        _run_compiled(root, env, config_state, inline=inline, threads=threads)
     except CompileError as exc:
         if backend == "differential":
             # degrading to interpreter-vs-interpreter would make the
@@ -504,7 +527,7 @@ def run_proc(
         from ..errors import CodegenError
 
         try:
-            _run_native(root, c_values)
+            _run_native(root, c_values, threads=threads)
         except (CodegenError, NativeError) as exc:
             _record_native_fallback(root, exc, stage="differential-c-leg")
         else:
@@ -567,18 +590,19 @@ def check_equiv(
     atol: float = 1e-5,
     backend: Optional[str] = None,
     inline: Optional[bool] = None,
+    threads: Optional[int] = None,
 ) -> bool:
     """Run two procedures on identical random inputs and compare every tensor
     argument afterwards.  Returns True when all outputs match.  ``backend``
     selects the execution engine for both runs (default: the process default,
-    normally the compiled engine); ``inline`` is forwarded to the compiled
-    engine."""
+    normally the compiled engine); ``inline`` and ``threads`` are forwarded
+    to the execution engines."""
     args1 = make_random_args(p1, size_env, seed=seed)
     args2 = {
         k: (v.copy() if isinstance(v, np.ndarray) else v) for k, v in make_random_args(p2, size_env, seed=seed).items()
     }
-    out1 = run_proc(p1, backend=backend, inline=inline, **args1)
-    out2 = run_proc(p2, backend=backend, inline=inline, **args2)
+    out1 = run_proc(p1, backend=backend, inline=inline, threads=threads, **args1)
+    out2 = run_proc(p2, backend=backend, inline=inline, threads=threads, **args2)
     for name, v1 in out1.items():
         if isinstance(v1, np.ndarray):
             v2 = out2[name]

@@ -237,11 +237,14 @@ class Alloc(Stmt):
 
 @dataclass(eq=False)
 class For(Stmt):
-    """``for i in seq(lo, hi): body`` — a sequential loop.
+    """``for i in seq(lo, hi): body`` — a loop.
 
-    ``pragma`` may be set to ``"par"`` by ``parallelize_loop``; the loop is
-    still executed sequentially by the interpreter but the annotation is
-    checked and used by the backend / performance model.
+    ``pragma`` may be set to ``"par"`` by ``parallelize_loop`` (checked: the
+    iterations commute).  The tree-walking reference interpreter still runs
+    ``par`` loops sequentially (its results define the oracle), but the
+    compiled NumPy engine dispatches them over a thread pool
+    (:mod:`repro.interp.parallel`) and the C backend emits OpenMP pragmas;
+    the performance model also reads the annotation.
     """
 
     iter: Sym = None

@@ -86,7 +86,18 @@ def set_precision(proc, buf, precision):
 
 @scheduling_primitive
 def parallelize_loop(proc, loop):
-    """Annotate a loop as parallel (checked: no cross-iteration RAW/WAW)."""
+    """Annotate a loop as parallel (checked: no cross-iteration RAW/WAW).
+
+    The check (:func:`~repro.analysis.effects.loop_iterations_commute`)
+    admits both *maps* (iterations write disjoint elements) and *pure
+    reductions* (every access to a shared target is ``+=``, which commutes).
+    The execution engines honour the annotation accordingly: maps run with
+    shared buffers, reduction targets are privatized — per-chunk accumulators
+    combined in a deterministic order in the compiled NumPy engine
+    (:mod:`repro.interp.parallel`), OpenMP ``reduction(...)`` clauses in the
+    C backend.  Loops whose bodies defeat that routing (e.g. unanalyzable
+    whole-buffer writes) still execute, sequentially, with a
+    ``par-unlowerable`` fallback event."""
     loop = to_loop_cursor(proc, loop)
     node = loop._node()
     env = proc_fact_env(proc, loop._path)

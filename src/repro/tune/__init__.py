@@ -21,12 +21,14 @@ See ``docs/autotuning.md`` for the full guide.
 from .results import POISONED_STATUSES, Leaderboard, board_key, config_key, machine_id
 from .runner import Measurement, ScheduleRunner, evaluate_parallel, evaluate_spec, split_prefix
 from .space import (
+    THREADS_KNOB,
     GridSampler,
     Param,
     RandomSampler,
     Space,
     TuneError,
     successive_halving,
+    threads_param,
 )
 from .tuner import Tuner, TuneResult, autotune
 
@@ -37,6 +39,8 @@ __all__ = [
     "GridSampler",
     "RandomSampler",
     "successive_halving",
+    "threads_param",
+    "THREADS_KNOB",
     "Measurement",
     "ScheduleRunner",
     "split_prefix",

@@ -59,7 +59,7 @@ from ..core.procedure import Procedure
 from ..errors import InvalidCursorError, SchedulingError
 from ..guard import faults
 from ..interp import compile_proc, make_random_args, resolve_backend, run_proc
-from .space import Config, TuneError
+from .space import THREADS_KNOB, Config, TuneError
 
 __all__ = [
     "Measurement",
@@ -267,7 +267,7 @@ class ScheduleRunner:
 
     # -- timing ----------------------------------------------------------------
 
-    def _time(self, scheduled: Procedure, repeats: int) -> float:
+    def _time(self, scheduled: Procedure, repeats: int, threads: Optional[int] = None) -> float:
         base = make_random_args(scheduled, self.size_env, seed=self.seed)
 
         def fresh():
@@ -275,30 +275,39 @@ class ScheduleRunner:
                 k: (v.copy() if isinstance(v, np.ndarray) else v) for k, v in base.items()
             }
 
-        run_proc(scheduled, backend=self.backend, **fresh())  # warm-up absorbs one-time compilation
+        # warm-up absorbs one-time compilation
+        run_proc(scheduled, backend=self.backend, threads=threads, **fresh())
         best = float("inf")
         for _ in range(max(1, repeats)):
             args = fresh()
             t0 = time.perf_counter()
-            run_proc(scheduled, backend=self.backend, **args)
+            run_proc(scheduled, backend=self.backend, threads=threads, **args)
             best = min(best, time.perf_counter() - t0)
         return best
 
     def evaluate(self, config: Optional[Config] = None, repeats: Optional[int] = None) -> Measurement:
         """Schedule, compile, and time one candidate.  Returns an ``"error"``
-        measurement on scheduling failure; lets :class:`KnobError` escape."""
+        measurement on scheduling failure; lets :class:`KnobError` escape.
+
+        The reserved ``num_threads`` knob (:func:`~repro.tune.threads_param`)
+        never reaches the schedule: it is stripped from the candidate config
+        and forwarded to ``run_proc(threads=...)``, so spaces can sweep the
+        execution thread count alongside schedule knobs.  It stays in the
+        measurement's recorded config."""
         config = dict(config or {})
+        threads = config.get(THREADS_KNOB)
+        sched_config = {k: v for k, v in config.items() if k != THREADS_KNOB}
         repeats = self.repeats if repeats is None else repeats
         try:
-            scheduled = self.scheduled(config)
+            scheduled = self.scheduled(sched_config)
         except KnobError:
             raise  # a sweep configuration bug, never a prunable candidate
         except (SchedulingError, InvalidCursorError) as err:
             return Measurement(config, status="error", error=str(err))
         try:
             with _deadline(self.timeout_s):
-                stats = compile_proc(scheduled).stats()
-                best = self._time(scheduled, repeats)
+                stats = compile_proc(scheduled, threads=threads).stats()
+                best = self._time(scheduled, repeats, threads=threads)
         except _CandidateTimeout:
             return Measurement(
                 config,

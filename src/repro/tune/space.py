@@ -33,7 +33,13 @@ __all__ = [
     "GridSampler",
     "RandomSampler",
     "successive_halving",
+    "threads_param",
+    "THREADS_KNOB",
 ]
+
+#: Reserved knob name: the schedule runner pops it from a candidate config
+#: and forwards it to ``run_proc(threads=...)`` instead of the schedule.
+THREADS_KNOB = "num_threads"
 
 #: A concrete knob environment, as accepted by ``Schedule.apply(knobs=...)``.
 Config = Dict[str, object]
@@ -150,6 +156,20 @@ class Space:
     def __repr__(self) -> str:
         inner = ", ".join(f"{p.name}={list(p.values)!r}" for p in self.params.values())
         return f"Space({inner})"
+
+
+def threads_param(lo: int = 1, hi: int = 8) -> Param:
+    """The execution thread-count knob, power-of-two stepped.
+
+    ``num_threads`` is *reserved*: it is not a schedule knob — the runner
+    strips it from the candidate config and passes it to
+    ``run_proc(threads=...)``, so any space can sweep thread counts for
+    schedules containing ``parallelize_loop`` steps.
+
+    >>> threads_param(1, 8)
+    Param('num_threads', values=(1, 2, 4, 8))
+    """
+    return Param.pow2(THREADS_KNOB, lo, hi)
 
 
 class GridSampler:

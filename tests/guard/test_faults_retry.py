@@ -74,6 +74,8 @@ def test_fault_names_match_the_documented_set():
         "partial-write",
         "lock-timeout",
         "kill-mid-publish",
+        "omp-missing",
+        "thread-pool-exhausted",
     }
 
 

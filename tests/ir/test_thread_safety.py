@@ -207,3 +207,134 @@ def test_no_global_edit_epoch_remains():
     assert not hasattr(nodes, "bump_mutation_epoch")
     assert not hasattr(nodes, "_mutation_epoch")
     assert hasattr(nodes, "edit_epoch") and hasattr(nodes, "set_edit_epoch")
+
+
+# -- multicore par-loop execution under client concurrency -------------------
+
+
+def test_concurrent_parallel_execution_keeps_exact_stats(axpy):
+    """8 client threads each execute a compiled par kernel with threads=2:
+    the par_for dispatches nest client concurrency over worker concurrency
+    and the telemetry counters must stay exact (no lost or double counts)."""
+    import numpy as np
+
+    from repro.interp import clear_exec_stats, exec_stats, run_proc
+    from repro.primitives import parallelize_loop
+
+    par = parallelize_loop(axpy, "i")
+    per_thread, n_threads = 5, 8
+    clear_exec_stats()
+    try:
+
+        def work(i):
+            rng = np.random.default_rng(i)
+            for _ in range(per_thread):
+                x = rng.standard_normal(257, dtype=np.float32)
+                y = rng.standard_normal(257, dtype=np.float32)
+                expect = y + np.float32(2.0) * x
+                run_proc(par, n=257, a=np.float32(2.0), x=x, y=y,
+                         backend="compiled", threads=2)
+                np.testing.assert_allclose(y, expect, rtol=1e-5)
+
+        _run_threads(n_threads, work)
+        st = exec_stats()["parallel"]
+        assert st["par_loops"] == per_thread * n_threads
+        # client threads are top-level dispatchers, never nested workers
+        assert st["serial_degrades"] == 0
+    finally:
+        clear_exec_stats()
+
+
+def test_eight_clients_schedule_and_execute_par_kernels(tmp_path):
+    """The full stack under contention: 8 clients hit one schedule service
+    (whose workers apply blur's ``parallel("y")`` schedule) while each client
+    simultaneously executes multicore par kernels in-process.  Zero lost
+    replies, identical scheduled hashes, exact request counters, and every
+    numeric result correct."""
+    import asyncio
+    import threading as _threading
+    import time as _time
+
+    import numpy as np
+
+    from repro.interp import clear_exec_stats, exec_stats, run_proc
+    from repro.primitives import parallelize_loop
+    from repro.service import ScheduleService, ServiceClient
+
+    service = ScheduleService(state_dir=str(tmp_path / "state"), scheduling_workers=4)
+    loop = asyncio.new_event_loop()
+
+    def serve():
+        asyncio.set_event_loop(loop)
+        loop.run_until_complete(service.start())
+        loop.run_until_complete(service.serve_forever())
+        loop.run_until_complete(asyncio.sleep(0.05))
+        loop.close()
+
+    server_thread = _threading.Thread(target=serve, daemon=True)
+    server_thread.start()
+    deadline = _time.monotonic() + 10
+    while service._server is None:
+        assert _time.monotonic() < deadline, "service did not start"
+        _time.sleep(0.01)
+
+    BLUR = {"ref": "repro.halide:make_blur"}
+    BLUR_SCHED = {"ref": "repro.halide:blur_schedule"}
+
+    from repro import proc_from_source
+
+    dotp = parallelize_loop(
+        proc_from_source(
+            "def dot_stress(n: size, x: f32[n] @ DRAM, y: f32[n] @ DRAM, out: f32[1] @ DRAM):\n"
+            "    for i in seq(0, n):\n"
+            "        out[0] += x[i] * y[i]\n"
+        ),
+        "i",
+    )
+
+    n = 8
+    results, errors = [None] * n, []
+    clear_exec_stats()
+    try:
+
+        def worker(i):
+            try:
+                rng = np.random.default_rng(i)
+                x = rng.uniform(-1, 1, 501).astype(np.float32)
+                y = rng.uniform(-1, 1, 501).astype(np.float32)
+                with ServiceClient(service.address()) as c:
+                    sched = c.schedule(proc=BLUR, schedule=BLUR_SCHED)
+                    outs = []
+                    for t in (1, 2):
+                        out = np.zeros(1, np.float32)
+                        run_proc(dotp, 501, x, y, out, backend="compiled", threads=t)
+                        outs.append(out[0])
+                # reductions are bit-identical across thread counts even
+                # while the service's workers contend for the pool
+                assert outs[0] == outs[1], outs
+                results[i] = sched["state_hash"]
+            except Exception as exc:  # noqa: BLE001
+                errors.append((i, exc))
+
+        threads = [_threading.Thread(target=worker, args=(i,)) for i in range(n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+        assert not errors, errors
+        assert all(r is not None for r in results), "lost replies"
+        assert len(set(results)) == 1, "clients saw divergent schedules"
+        with ServiceClient(service.address()) as c:
+            stats = c.stats()
+        assert stats["requests"]["schedule"] == n
+        assert stats["errors"] == 0
+        st = exec_stats()["parallel"]
+        assert st["par_loops"] == n * 2  # two thread settings per client
+    finally:
+        try:
+            with ServiceClient(service.address(), timeout_s=5) as c:
+                c.shutdown()
+        except OSError:
+            pass
+        server_thread.join(timeout=10)
+        clear_exec_stats()

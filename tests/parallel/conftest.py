@@ -1,0 +1,28 @@
+"""Parallel-suite fixtures.
+
+The chaos CI rows re-run this suite with ``REPRO_FAULTS`` forcing a fault
+process-wide.  Most tests absorb that — degradation preserves results by
+design — but a few assert *exact* dispatch statistics that a permanently
+armed fault legitimately changes.  Those declare their tolerance with the
+same ``tolerates`` idiom the guard suite uses and skip under anything else.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.guard import faults
+
+
+@pytest.fixture
+def tolerates():
+    """``tolerates("thread-pool-exhausted", ...)`` — skip when any *other*
+    env fault is armed (this test's exact-stats assertions can't absorb a
+    permanently forced degradation)."""
+
+    def check(*names):
+        extra = sorted(set(faults.env_faults()) - set(names))
+        if extra:
+            pytest.skip(f"armed env fault(s) {', '.join(extra)} conflict with this test")
+
+    return check

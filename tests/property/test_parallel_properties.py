@@ -1,0 +1,190 @@
+"""Property-based tests for ``par``-loop legality and determinism.
+
+Randomized affine loop nests are drawn from two families:
+
+* **known-legal** — same-affine-index maps (possibly with shifted *reads*)
+  and pure ``+=`` reductions.  ``parallelize_loop`` must accept them and the
+  parallel compiled run must match the sequential oracle at every thread
+  count (bit-identical across thread counts for reductions).
+* **known-illegal** — cross-iteration RAW (scan), invariant-cell overwrite
+  (WAW), and shifted-write WAR nests.  ``parallelize_loop`` must reject
+  every one; safety is an analysis property, never a runtime accident.
+"""
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import proc_from_source
+from repro.errors import SchedulingError
+from repro.interp import run_proc
+from repro.primitives import parallelize_loop
+
+_uid = [0]
+
+
+def _mk(body_lines, sig):
+    """A fresh procedure from a generated body (unique name per draw)."""
+    _uid[0] += 1
+    src = f"def prop_{_uid[0]}({sig}):\n" + "".join(
+        f"    {ln}\n" for ln in body_lines
+    )
+    return proc_from_source(src)
+
+
+def _vec_args(n, seed, extra=0):
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(-1, 1, n + extra).astype(np.float32)
+    y = rng.uniform(-1, 1, n + extra).astype(np.float32)
+    return x, y
+
+
+# ---------------------------------------------------------------------------
+# Legal family: maps
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(3, 97),
+    c=st.integers(-4, 4),
+    shift=st.integers(0, 2),
+    threads=st.sampled_from([2, 8]),
+)
+def test_affine_maps_parallelize_and_match_sequential(n, c, shift, threads):
+    # y[i] = x[i - shift] * c + y[i]  over seq(shift, n): the write index is
+    # the iterator itself, reads may lag behind it — always race-free
+    p = _mk(
+        [
+            f"for i in seq({shift}, n):",
+            f"    y[i] = x[i - {shift}] * {float(c)} + y[i]",
+        ],
+        "n: size, x: f32[n] @ DRAM, y: f32[n] @ DRAM",
+    )
+    par = parallelize_loop(p, "i")
+
+    x, y_seq = _vec_args(n, seed=n * 131 + c)
+    y_par = y_seq.copy()
+    run_proc(p, n, x, y_seq, backend="compiled", threads=1)
+    run_proc(par, n, x, y_par, backend="compiled", threads=threads)
+    assert np.array_equal(y_par, y_seq), "parallel map diverged from sequential"
+
+
+@settings(max_examples=15, deadline=None)
+@given(m=st.integers(2, 24), n=st.integers(2, 24), threads=st.sampled_from([2, 8]))
+def test_nested_affine_maps_parallelize_on_the_outer_loop(m, n, threads):
+    p = _mk(
+        [
+            "for i in seq(0, M):",
+            "    for j in seq(0, N):",
+            "        B[i, j] = A[i, j] * 2.0 + 1.0",
+        ],
+        "M: size, N: size, A: f32[M, N] @ DRAM, B: f32[M, N] @ DRAM",
+    )
+    par = parallelize_loop(p, "i")
+    rng = np.random.default_rng(m * 31 + n)
+    A = rng.uniform(-1, 1, (m, n)).astype(np.float32)
+    B_seq = np.zeros((m, n), np.float32)
+    B_par = np.zeros((m, n), np.float32)
+    run_proc(p, m, n, A, B_seq, backend="compiled", threads=1)
+    run_proc(par, m, n, A, B_par, backend="compiled", threads=threads)
+    assert np.array_equal(B_par, B_seq)
+
+
+# ---------------------------------------------------------------------------
+# Legal family: pure reductions
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=20, deadline=None)
+@given(n=st.integers(1, 211), seed=st.integers(0, 999))
+def test_pure_reductions_are_bitwise_across_thread_counts(n, seed):
+    p = _mk(
+        [
+            "for i in seq(0, n):",
+            "    out[0] += x[i] * y[i]",
+        ],
+        "n: size, x: f32[n] @ DRAM, y: f32[n] @ DRAM, out: f32[1] @ DRAM",
+    )
+    par = parallelize_loop(p, "i")
+    x, y = _vec_args(n, seed)
+
+    outs = []
+    for t in (1, 2, 8):
+        out = np.zeros(1, np.float32)
+        run_proc(par, n, x, y, out, backend="compiled", threads=t)
+        outs.append(out[0])
+    assert outs[0] == outs[1] == outs[2], (
+        f"reduction not deterministic across thread counts: {outs}"
+    )
+
+    ref = np.zeros(1, np.float32)
+    run_proc(p, n, x, y, ref, backend="interp")
+    np.testing.assert_allclose(outs[0], ref[0], rtol=1e-4, atol=1e-5)
+
+
+# ---------------------------------------------------------------------------
+# Illegal family: the analysis must reject, deterministically
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=15, deadline=None)
+@given(lag=st.integers(1, 3))
+def test_scan_raw_dependence_is_rejected(lag):
+    p = _mk(
+        [
+            f"for i in seq({lag}, n):",
+            f"    y[i] = y[i - {lag}] + x[i]",
+        ],
+        "n: size, x: f32[n] @ DRAM, y: f32[n] @ DRAM",
+    )
+    with pytest.raises(SchedulingError, match="carry dependencies"):
+        parallelize_loop(p, "i")
+
+
+@settings(max_examples=10, deadline=None)
+@given(idx=st.integers(0, 3))
+def test_invariant_overwrite_waw_is_rejected(idx):
+    p = _mk(
+        [
+            "for i in seq(0, n):",
+            f"    y[{idx}] = x[i]",
+        ],
+        "n: size, x: f32[n] @ DRAM, y: f32[4] @ DRAM",
+    )
+    with pytest.raises(SchedulingError, match="carry dependencies"):
+        parallelize_loop(p, "i")
+
+
+@settings(max_examples=10, deadline=None)
+@given(lead=st.integers(1, 3))
+def test_shifted_write_war_dependence_is_rejected(lead):
+    p = _mk(
+        [
+            "for i in seq(0, n):",
+            f"    y[i] = x[i] + y[i + {lead}]",
+        ],
+        f"n: size, x: f32[n] @ DRAM, y: f32[n + {lead}] @ DRAM",
+    )
+    with pytest.raises(SchedulingError, match="carry dependencies"):
+        parallelize_loop(p, "i")
+
+
+def test_rejected_nests_still_run_sequentially():
+    # legality is about the annotation, not executability: the plain nest
+    # keeps working in every engine
+    p = _mk(
+        [
+            "for i in seq(1, n):",
+            "    y[i] = y[i - 1] + x[i]",
+        ],
+        "n: size, x: f32[n] @ DRAM, y: f32[n] @ DRAM",
+    )
+    n = 37
+    x, y = _vec_args(n, seed=7)
+    y_ref = y.copy()
+    run_proc(p, n, x, y, backend="compiled")
+    for i in range(1, n):
+        y_ref[i] = y_ref[i - 1] + x[i]
+    np.testing.assert_allclose(y, y_ref, rtol=1e-6)
